@@ -1,0 +1,71 @@
+"""A3 — ablation: the final configuration's 10x re-evaluation.
+
+Section VI-A re-runs each experiment's chosen configuration 10 times "to
+compensate for runtime variance".  This ablation quantifies that choice:
+with identical searches (Random Search over identical dataset slices, so
+both variants pick the *same* configurations), the reported result's
+deviation from the configuration's true noise-free runtime shrinks when
+averaged over 10 repeats instead of 1.
+"""
+
+import numpy as np
+
+from repro.experiments import ExperimentDesign, StudyConfig
+from repro.gpu import TITAN_V, simulate_runtimes
+from repro.kernels import get_kernel
+
+from .conftest import cached_study
+
+SIZE = 25
+EXPERIMENTS = 32
+
+
+def _config(repeats: int) -> StudyConfig:
+    return StudyConfig(
+        design=ExperimentDesign(
+            sample_sizes=(SIZE,),
+            experiments_at_largest=EXPERIMENTS,
+        ),
+        algorithms=("random_search",),
+        kernels=("harris",),
+        archs=("titan_v",),
+        final_repeats=repeats,
+    )
+
+
+def test_final_repeats_ablation(benchmark, scale_note):
+    def run_both():
+        return (
+            cached_study(_config(1), "a3_repeats_1"),
+            cached_study(_config(10), "a3_repeats_10"),
+        )
+
+    single, averaged = benchmark(run_both)
+
+    # Both variants chose identical configurations (same dataset slices,
+    # same deterministic RS) -- verify, then isolate measurement error.
+    kernel = get_kernel("harris")
+    space = kernel.space()
+    profile = kernel.profile()
+
+    errors = {1: [], 10: []}
+    for r1, r10 in zip(single.results, averaged.results):
+        assert r1.best_flat == r10.best_flat
+        row = space.index_matrix_to_features(
+            space.flats_to_index_matrix(np.array([r1.best_flat]))
+        ).astype(np.int64)
+        true_ms = simulate_runtimes(profile, TITAN_V, row).runtime_ms[0]
+        errors[1].append(abs(r1.final_runtime_ms - true_ms) / true_ms)
+        errors[10].append(abs(r10.final_runtime_ms - true_ms) / true_ms)
+
+    mean_err_1 = float(np.mean(errors[1]))
+    mean_err_10 = float(np.mean(errors[10]))
+    print()
+    print("A3: reported-result error vs true runtime (harris/titan_v, "
+          f"{EXPERIMENTS} experiments)")
+    print(f"  final_repeats=1   mean relative error {mean_err_1:7.3%}")
+    print(f"  final_repeats=10  mean relative error {mean_err_10:7.3%}")
+
+    # Averaging 10 repeats must reduce the reported-result error
+    # substantially (sqrt(10) ~ 3x in the iid part).
+    assert mean_err_10 < mean_err_1

@@ -1,0 +1,66 @@
+"""Extension — landscape fingerprints of all nine paper landscapes.
+
+Section VIII-A of the paper motivates "better understanding how the
+relative performance of search algorithms change as functions of the
+sample size, benchmarks and architectures".  This bench prints the
+structural fingerprint (FDC, walk autocorrelation, local-optima rate,
+good-region density) of every (benchmark, architecture) landscape and
+checks the cross-kernel regularities that explain the study's results.
+"""
+
+import numpy as np
+
+from repro.analysis import analyze_landscape
+from repro.experiments import find_true_optimum
+from repro.gpu import PAPER_ARCHITECTURES, get_architecture
+from repro.kernels import PAPER_KERNEL_NAMES, get_kernel
+
+
+def _fingerprints():
+    out = {}
+    for kname in PAPER_KERNEL_NAMES:
+        kernel = get_kernel(kname)
+        profile = kernel.profile()
+        space = kernel.space()
+        for aname in PAPER_ARCHITECTURES:
+            arch = get_architecture(aname)
+            optimum = find_true_optimum(profile, arch, space)
+            out[(kname, aname)] = analyze_landscape(
+                profile, arch, space, optimum.config,
+                optimum.runtime_ms, rng=np.random.default_rng(0),
+            )
+    return out
+
+
+def test_landscape_fingerprints(benchmark, scale_note):
+    stats = benchmark(_fingerprints)
+
+    print()
+    print("Landscape fingerprints (noise-free simulator):")
+    for fp in stats.values():
+        print("  " + fp.describe())
+
+    # Regularity 1: every landscape has exploitable global structure
+    # (positive FDC) — why model-based search beats RS at all.
+    for fp in stats.values():
+        assert fp.fdc > 0.0
+
+    # Regularity 2: one-step walks are smooth-ish everywhere (the GA's
+    # mutation operator sees usable gradients).
+    for fp in stats.values():
+        assert fp.walk_autocorr > 0.2
+
+    # Regularity 3: near-optimal configurations are rare — under 2% of
+    # the space within 1.5x of the optimum — which is why sample size
+    # matters at all.
+    for fp in stats.values():
+        assert fp.good_region[1.5] < 0.02
+
+    # Regularity 4: the same benchmark's density profile differs across
+    # architectures (the paper's cross-architecture effect).
+    for kname in PAPER_KERNEL_NAMES:
+        densities = [
+            stats[(kname, a)].good_region[2.0]
+            for a in PAPER_ARCHITECTURES
+        ]
+        assert max(densities) > min(densities)

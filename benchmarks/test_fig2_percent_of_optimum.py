@@ -1,0 +1,52 @@
+"""E1 — Fig. 2: median percentage-of-optimum heatmaps.
+
+Regenerates the paper's Fig. 2: for every (benchmark, architecture)
+panel, the median percentage of the landscape's optimum each algorithm
+reaches at each sample size.  Shape assertions check the paper's
+qualitative claims, not absolute values (the testbed is a simulator).
+"""
+
+import numpy as np
+
+from repro.reporting import figure2, render_heatmap
+
+
+def test_fig2_generation(benchmark, study, scale_note):
+    fig = benchmark(figure2, study)
+
+    print()
+    print(scale_note)
+    for panel in fig.panels.values():
+        print()
+        print(render_heatmap(panel))
+
+    sizes = study.sample_sizes
+    panels = fig.panels
+    assert len(panels) == len(study.kernels) * len(study.archs)
+
+    # Claim (Section VII-A): performance increases with sample size for
+    # (nearly) every algorithm -- check largest vs smallest size per row,
+    # allowing a small minority of noisy cells to dip.
+    rises = 0
+    total = 0
+    for panel in panels.values():
+        first, last = panel.values[:, 0], panel.values[:, -1]
+        rises += int((last > first).sum())
+        total += first.size
+    assert rises / total > 0.8
+
+    # Percentages are percentages.
+    for panel in panels.values():
+        assert np.all(panel.values > 0)
+        assert np.all(panel.values <= 110.0)  # noise can nudge past 100
+
+    # Claim: RF never outperforms all the other methods (Section VII-A).
+    # RF may top a noisy cell at this scale, but must not top a majority.
+    algs = list(panels[next(iter(panels))].row_labels)
+    rf = algs.index("RF")
+    rf_tops = sum(
+        int(np.argmax(panel.values[:, j]) == rf)
+        for panel in panels.values()
+        for j in range(len(sizes))
+    )
+    assert rf_tops < 0.5 * len(panels) * len(sizes)

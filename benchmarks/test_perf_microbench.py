@@ -1,0 +1,107 @@
+"""Performance microbenchmarks of the substrate hot paths.
+
+Not a paper artifact — these guard the throughput that makes the study
+reproducible at all: the vectorized GPU performance model (exhaustive
+2M-configuration optimum scans), the from-scratch ML models the tuners
+refit inside their loops, and the statistics kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import TITAN_V, simulate_runtimes
+from repro.kernels import get_kernel
+from repro.ml import (
+    AdaptiveParzenEstimator1D,
+    GaussianProcessRegressor,
+    RandomForestRegressor,
+)
+from repro.searchspace import paper_search_space
+from repro.stats import cles_smaller, mann_whitney_u
+
+SPACE = paper_search_space()
+HARRIS = get_kernel("harris").profile()
+
+
+@pytest.fixture(scope="module")
+def config_batch():
+    rng = np.random.default_rng(0)
+    flats = rng.integers(0, SPACE.size, 65536)
+    return SPACE.index_matrix_to_features(
+        SPACE.flats_to_index_matrix(flats)
+    ).astype(np.int64)
+
+
+def test_simulator_batch_throughput(benchmark, config_batch):
+    """65k-configuration simulation pass (the optimum-scan workhorse)."""
+    result = benchmark(simulate_runtimes, HARRIS, TITAN_V, config_batch)
+    assert np.isfinite(result.runtime_ms).sum() > 0
+
+
+def test_space_flat_decode_throughput(benchmark):
+    flats = np.arange(262144)
+    out = benchmark(SPACE.flats_to_index_matrix, flats)
+    assert out.shape == (262144, 6)
+
+
+def test_forest_fit(benchmark):
+    """RF tuner's stage-1 fit at the largest paper budget (S-10 = 390)."""
+    rng = np.random.default_rng(0)
+    X = rng.integers(1, 17, (390, 6)).astype(float)
+    y = rng.lognormal(0, 1, 390)
+
+    def fit():
+        return RandomForestRegressor(
+            n_estimators=100, rng=np.random.default_rng(1)
+        ).fit(X, y)
+
+    forest = benchmark(fit)
+    assert forest.is_fitted
+
+
+def test_gp_fit_with_hyperopt(benchmark):
+    """BO GP's periodic hyperparameter refit at its training-set cap."""
+    rng = np.random.default_rng(0)
+    X = rng.integers(1, 17, (128, 6)).astype(float)
+    y = np.log(rng.lognormal(0, 1, 128))
+
+    def fit():
+        return GaussianProcessRegressor(
+            n_restarts=1, rng=np.random.default_rng(1)
+        ).fit(X, y)
+
+    gp = benchmark(fit)
+    assert gp.predict(X[:4]).shape == (4,)
+
+
+def test_tpe_density_fit_and_score(benchmark):
+    """One TPE per-dimension density fit + 24-candidate scoring round."""
+    rng = np.random.default_rng(0)
+    good = rng.integers(0, 16, 10)
+    bad = rng.integers(0, 16, 30)
+
+    def round_trip():
+        l_est = AdaptiveParzenEstimator1D(0, 15).fit(good)
+        g_est = AdaptiveParzenEstimator1D(0, 15).fit(bad)
+        draws = l_est.sample(np.random.default_rng(1), 24)
+        return l_est.log_prob(draws) - g_est.log_prob(draws)
+
+    scores = benchmark(round_trip)
+    assert scores.shape == (24,)
+
+
+def test_mwu_at_paper_population_size(benchmark):
+    """MWU over two 800-experiment populations (the paper's largest)."""
+    rng = np.random.default_rng(0)
+    a = rng.lognormal(0, 0.3, 800)
+    b = rng.lognormal(0.05, 0.3, 800)
+    result = benchmark(mann_whitney_u, a, b)
+    assert 0 <= result.p_value <= 1
+
+
+def test_cles_at_paper_population_size(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.lognormal(0, 0.3, 800)
+    b = rng.lognormal(0.05, 0.3, 800)
+    value = benchmark(cles_smaller, a, b)
+    assert 0 <= value <= 1

@@ -1,0 +1,51 @@
+"""E5 — Table I (our row) and the Section VII significance criterion.
+
+Regenerates the paper's Table I entry for this study (from the actual
+design that ran, so scaled-down runs report their true scale) and the
+pairwise Mann-Whitney comparisons at alpha = 0.01 with the >1% median
+difference requirement the paper applies.
+"""
+
+from repro.experiments import ExperimentDesign
+from repro.reporting import (
+    render_significance,
+    significance_matrix,
+    table1_row,
+)
+
+
+def test_table1_row_paper_design(benchmark):
+    row = benchmark(table1_row, ExperimentDesign())
+    print()
+    print("Table I (last row), paper design:")
+    for k, v in row.items():
+        print(f"  {k:18s} {v}")
+    assert row["samples"] == "25-400"
+    assert row["experiments"] == "800-50"
+    assert row["evaluations"] == "10"
+    assert row["significance_test"] == "Mann-Whitney U"
+    assert row["algorithms"] == "RS, BO TPE, BO GP, RF, GA"
+
+
+def test_pairwise_significance(benchmark, study, scale_note):
+    kernel = study.kernels[0]
+    arch = study.archs[0]
+    size = study.sample_sizes[0]  # most experiments -> most power
+
+    cells = benchmark(significance_matrix, study, kernel, arch, size)
+
+    print()
+    print(scale_note)
+    print(render_significance(cells))
+
+    n_algs = len(study.algorithms)
+    assert len(cells) == n_algs * (n_algs - 1) // 2
+    for c in cells:
+        assert 0.0 <= c.p_value <= 1.0
+        assert 0.0 <= c.cles <= 1.0
+        assert c.median_speedup > 0
+        # The paper's combined criterion: significance requires BOTH a
+        # small p-value and a >1% median difference.
+        if c.significant:
+            assert c.p_value < 0.01
+            assert abs(c.median_speedup - 1.0) > 0.01

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Mini-ImageCL: write a kernel as source, analyze it, autotune it.
+
+The paper's system is ImageCL — a language whose launch parameters are
+abstracted into tuning parameters.  This example writes a Sobel-magnitude
+kernel in the mini-ImageCL DSL, shows what the static analyzer derives
+from the source (the performance profile the GPU model consumes), runs
+the compiled kernel on real data, and autotunes it on two simulated GPUs.
+
+Run:  python examples/imagecl_frontend.py
+"""
+
+import numpy as np
+
+from repro import GTX_980, SimulatedDevice, TITAN_V, find_true_optimum
+from repro.imagecl import compile_kernel
+from repro.search import BayesianTpeTuner, Objective
+
+SOBEL_SOURCE = """
+// Sobel gradient magnitude with a light threshold.
+kernel sobel(image in float img, image out float mag) {
+    float gx = img[x+1, y-1] + 2.0 * img[x+1, y] + img[x+1, y+1]
+             - img[x-1, y-1] - 2.0 * img[x-1, y] - img[x-1, y+1];
+    float gy = img[x-1, y+1] + 2.0 * img[x, y+1] + img[x+1, y+1]
+             - img[x-1, y-1] - 2.0 * img[x, y-1] - img[x+1, y-1];
+    float m = sqrt(gx * gx + gy * gy);
+    mag[x, y] = m > 0.05 ? m : 0.0;
+}
+"""
+
+
+def main() -> None:
+    kernel = compile_kernel(SOBEL_SOURCE, x_size=8192, y_size=8192)
+
+    a = kernel.analysis
+    print(f"kernel {kernel.name!r} — static analysis:")
+    print(f"  unique loads/pixel   {a.reads_per_pixel}")
+    print(f"  stencil radius       {a.stencil_radius}")
+    print(f"  FLOPs/pixel          {a.flops:.0f} (+ {a.sfu_ops:.0f} SFU)")
+    print(f"  est. registers       {a.registers:.0f}")
+
+    # The compiled kernel really computes: verify one pixel by hand.
+    small = compile_kernel(SOBEL_SOURCE, 64, 64)
+    img = small.make_inputs(np.random.default_rng(0))["img"]
+    out = small.reference({"img": img})
+    y, x = 30, 20
+    gx = (img[y - 1, x + 1] + 2 * img[y, x + 1] + img[y + 1, x + 1]
+          - img[y - 1, x - 1] - 2 * img[y, x - 1] - img[y + 1, x - 1])
+    gy = (img[y + 1, x - 1] + 2 * img[y + 1, x] + img[y + 1, x + 1]
+          - img[y - 1, x - 1] - 2 * img[y - 1, x] - img[y - 1, x + 1])
+    expected = np.sqrt(gx * gx + gy * gy)
+    assert np.isclose(out[y, x], expected if expected > 0.05 else 0.0,
+                      rtol=1e-4)
+    print("  execution verified against manual pixel computation\n")
+
+    for arch in (GTX_980, TITAN_V):
+        optimum = find_true_optimum(kernel.profile(), arch, kernel.space())
+        device = SimulatedDevice(
+            arch, kernel.profile(), rng=np.random.default_rng(1)
+        )
+        objective = Objective(
+            kernel.space(), lambda c: device.measure(c).runtime_ms, 100
+        )
+        result = BayesianTpeTuner().tune(objective, np.random.default_rng(2))
+        final = np.mean([
+            m.runtime_ms
+            for m in device.measure_repeated(result.best_config, 10)
+        ])
+        print(
+            f"{arch.name}: BO TPE @ 100 samples -> {final:.3f} ms "
+            f"({100 * optimum.runtime_ms / final:.0f}% of the exhaustive "
+            f"optimum {optimum.runtime_ms:.3f} ms)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Why do different search techniques win on different benchmarks?
+
+The paper's future work (Section VIII-A) asks for a deeper understanding
+of how algorithm performance depends on benchmark and architecture.
+This example fingerprints two contrasting landscapes with the analysis
+toolkit — fitness-distance correlation, walk autocorrelation,
+local-optima rate, good-region density — and ranks which tuning
+parameters actually matter on each (forest-based importance).
+
+Run:  python examples/landscape_analysis.py   (~1 minute)
+"""
+
+import numpy as np
+
+from repro import GTX_980, TITAN_V, find_true_optimum, get_kernel
+from repro.analysis import analyze_landscape, parameter_importance
+
+
+def main() -> None:
+    for kname, arch in (("add", TITAN_V), ("mandelbrot", GTX_980)):
+        kernel = get_kernel(kname)
+        profile = kernel.profile()
+        space = kernel.space()
+        optimum = find_true_optimum(profile, arch, space)
+
+        stats = analyze_landscape(
+            profile, arch, space, optimum.config, optimum.runtime_ms,
+            rng=np.random.default_rng(0),
+        )
+        importance = parameter_importance(
+            profile, arch, space, rng=np.random.default_rng(1)
+        )
+
+        print(stats.describe())
+        print(f"  parameter importance: {importance.describe()}")
+        rs_needs = {
+            f: (f"~{1 / d:,.0f} samples" if d > 0 else "hopeless")
+            for f, d in stats.good_region.items()
+        }
+        print(f"  RS needs {rs_needs[1.25]} to land within 25% of optimum")
+        print()
+
+    print(
+        "Interpretation: high fitness-distance correlation and smooth "
+        "walks are what Bayesian models exploit at small budgets; the "
+        "sparse good region is why plain random search needs hundreds "
+        "of samples — the paper's sample-size effect in landscape terms."
+    )
+
+
+if __name__ == "__main__":
+    main()

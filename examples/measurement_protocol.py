@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The measurement methodology of Section VI-A, demonstrated.
+
+Three parts of the paper's protocol, each shown with live numbers from
+the simulated testbed:
+
+1. kernel time is measured *between* the host->device and device->host
+   transfers (transfers excluded from the timer),
+2. search-time measurements run each configuration once (noise included),
+   while the final configuration is re-run 10x and averaged,
+3. the resulting sample populations are non-Gaussian (Section V-A), which
+   is why the study uses the Mann-Whitney U test instead of a t-test.
+
+Run:  python examples/measurement_protocol.py
+"""
+
+import numpy as np
+
+from repro import SimulatedDevice, TITAN_V, get_kernel
+from repro.stats import describe, mann_whitney_u
+
+CONFIG = {"thread_x": 1, "thread_y": 1, "thread_z": 1,
+          "wg_x": 8, "wg_y": 4, "wg_z": 1}
+
+
+def main() -> None:
+    kernel = get_kernel("add")
+    device = SimulatedDevice(
+        TITAN_V, kernel.profile(), rng=np.random.default_rng(0)
+    )
+
+    # 1. Transfers are modelled but excluded from the timed region.
+    m = device.measure(CONFIG)
+    print("one measurement:")
+    print(f"  kernel time   {m.runtime_ms:8.3f} ms   <- what the tuner sees")
+    print(f"  transfers     {m.transfer_ms:8.3f} ms   <- outside the timer")
+    print(f"  end-to-end    {m.total_ms:8.3f} ms")
+
+    # 2. Single-run noise vs the 10x final re-evaluation.
+    singles = np.array(
+        [device.measure(CONFIG).runtime_ms for _ in range(200)]
+    )
+    final_means = np.array(
+        [
+            np.mean([x.runtime_ms for x in device.measure_repeated(CONFIG, 10)])
+            for _ in range(200)
+        ]
+    )
+    print("\nruntime variance (200 samples each):")
+    print(f"  single runs   CV = {singles.std() / singles.mean():6.3%}")
+    print(f"  10x means     CV = {final_means.std() / final_means.mean():6.3%}")
+
+    # 3. Non-Gaussianity: skew in the single-run population.
+    d = describe(singles)
+    print("\nsingle-run population:")
+    print(f"  mean {d['mean']:.4f}  median {d['median']:.4f}  "
+          f"(right-skewed: mean > median)")
+
+    # ...and the Mann-Whitney U test telling apart two configurations
+    # whose noisy samples overlap.
+    other = dict(CONFIG, wg_y=3)
+    pop_a = np.array([device.measure(CONFIG).runtime_ms for _ in range(50)])
+    pop_b = np.array([device.measure(other).runtime_ms for _ in range(50)])
+    test = mann_whitney_u(pop_a, pop_b)
+    print(
+        f"\nMWU test wg_y=4 vs wg_y=3: p = {test.p_value:.2e} "
+        f"({'significant' if test.significant() else 'not significant'} "
+        f"at the paper's alpha = 0.01)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+"""repro — reproduction of "Analyzing Search Techniques for Autotuning
+Image-based GPU Kernels: The Impact of Sample Sizes" (Tørring & Elster,
+2022).
+
+The package compares five autotuning search techniques — Random Search,
+Random Forest regression, Genetic Algorithms, Bayesian Optimization with
+Gaussian Processes, and Bayesian Optimization with Tree-Parzen Estimators
+— across sample sizes, benchmarks and (simulated) GPU architectures,
+reproducing every figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import StudyConfig, ExperimentDesign, run_study, figure2
+
+    config = StudyConfig(
+        design=ExperimentDesign(sample_sizes=(25, 100), experiments_at_largest=5),
+        kernels=("harris",),
+        archs=("titan_v",),
+    )
+    results = run_study(config)
+    for panel in figure2(results).panels.values():
+        print(panel.to_csv())
+
+Packages
+--------
+``repro.searchspace``
+    Tunable parameters, constraints, the paper's 2M-configuration space.
+``repro.gpu``
+    The simulated GPU testbed (three architectures, performance model,
+    measurement noise) substituting for the paper's physical GPUs.
+``repro.kernels``
+    The ImageCL benchmark suite: Add, Harris, Mandelbrot.
+``repro.ml``
+    From-scratch ML substrate: CART/random forest, Gaussian process,
+    adaptive Parzen estimators.
+``repro.search``
+    The five tuners behind a budget-enforcing common interface.
+``repro.stats``
+    Mann-Whitney U, CLES, bootstrap confidence intervals.
+``repro.experiments``
+    The experimental pipeline: designs, datasets, optima, study runner.
+``repro.reporting``
+    Figure/table generators with text and CSV rendering.
+"""
+
+from .experiments import (
+    ExperimentDesign,
+    ExperimentResult,
+    StudyConfig,
+    StudyResults,
+    find_true_optimum,
+    paper_design,
+    paper_study_config,
+    run_study,
+)
+from .gpu import (
+    GTX_980,
+    PAPER_ARCHITECTURES,
+    RTX_TITAN,
+    TITAN_V,
+    GpuArchitecture,
+    SimulatedDevice,
+    simulate_runtimes,
+)
+from .kernels import (
+    AddKernel,
+    HarrisKernel,
+    KernelSpec,
+    MandelbrotKernel,
+    get_kernel,
+    paper_suite,
+)
+from .reporting import figure2, figure3, figure4a, figure4b
+from .search import (
+    BayesianGpTuner,
+    BayesianTpeTuner,
+    GeneticAlgorithmTuner,
+    Objective,
+    RandomForestTuner,
+    RandomSearchTuner,
+    Tuner,
+    TuningResult,
+    make_tuner,
+    paper_tuners,
+)
+from .searchspace import SearchSpace, paper_search_space
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # search space
+    "SearchSpace",
+    "paper_search_space",
+    # gpu
+    "GpuArchitecture",
+    "GTX_980",
+    "TITAN_V",
+    "RTX_TITAN",
+    "PAPER_ARCHITECTURES",
+    "SimulatedDevice",
+    "simulate_runtimes",
+    # kernels
+    "KernelSpec",
+    "AddKernel",
+    "HarrisKernel",
+    "MandelbrotKernel",
+    "get_kernel",
+    "paper_suite",
+    # search
+    "Tuner",
+    "TuningResult",
+    "Objective",
+    "RandomSearchTuner",
+    "RandomForestTuner",
+    "GeneticAlgorithmTuner",
+    "BayesianGpTuner",
+    "BayesianTpeTuner",
+    "make_tuner",
+    "paper_tuners",
+    # experiments
+    "ExperimentDesign",
+    "paper_design",
+    "StudyConfig",
+    "paper_study_config",
+    "run_study",
+    "StudyResults",
+    "ExperimentResult",
+    "find_true_optimum",
+    # reporting
+    "figure2",
+    "figure3",
+    "figure4a",
+    "figure4b",
+]

@@ -1,0 +1,27 @@
+"""Landscape analysis: structural statistics and parameter importance.
+
+Tooling for the paper's Section VIII-A future work — understanding *why*
+the relative performance of search techniques changes across benchmarks
+and architectures, by fingerprinting the landscapes themselves.
+"""
+
+from .importance import ParameterImportance, parameter_importance
+from .landscape import (
+    LandscapeStatistics,
+    analyze_landscape,
+    fitness_distance_correlation,
+    good_region_density,
+    local_optima_fraction,
+    walk_autocorrelation,
+)
+
+__all__ = [
+    "LandscapeStatistics",
+    "analyze_landscape",
+    "fitness_distance_correlation",
+    "walk_autocorrelation",
+    "local_optima_fraction",
+    "good_region_density",
+    "ParameterImportance",
+    "parameter_importance",
+]

@@ -1,0 +1,236 @@
+"""Tuning-landscape analysis.
+
+The paper's future work asks for a better *understanding* of how the
+relative performance of search algorithms changes with benchmark and
+architecture (Section VIII-A).  The search-landscape literature answers
+such questions with structural statistics; this module computes the
+standard ones over the simulated landscapes:
+
+* **fitness-distance correlation (FDC)** — how strongly a
+  configuration's quality correlates with its distance to the optimum;
+  high FDC favours exploitative searches (GA's crossover, BO's EI), low
+  FDC favours uniform exploration (RS).
+* **random-walk autocorrelation** — the correlation length of runtimes
+  along one-parameter-step walks; short lengths mean rugged landscapes
+  where surrogate models generalize poorly.
+* **local-optima sampling** — the fraction of probed configurations whose
+  single-step neighbourhoods contain no improvement; multimodality at
+  the resolution the mutation operators see.
+* **quality quantiles / good-region density** — how much of the space is
+  within a factor of the optimum; what best-of-N random sampling can
+  reach.
+
+Everything operates on the *noise-free* landscape (the deterministic
+simulator), so statistics describe the problem, not the measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.arch import GpuArchitecture
+from ..gpu.simulator import simulate_runtimes
+from ..gpu.workload import WorkloadProfile
+from ..searchspace import SearchSpace
+
+__all__ = [
+    "LandscapeStatistics",
+    "fitness_distance_correlation",
+    "walk_autocorrelation",
+    "local_optima_fraction",
+    "good_region_density",
+    "analyze_landscape",
+]
+
+
+def _sample_landscape(
+    profile: WorkloadProfile,
+    arch: GpuArchitecture,
+    space: SearchSpace,
+    n: int,
+    rng: np.random.Generator,
+    feasible_only: bool = True,
+):
+    """(index-matrix, log-runtimes) of a random landscape sample."""
+    flats = space.sample_flat(rng, n, feasible_only=feasible_only)
+    idx = space.flats_to_index_matrix(flats)
+    values = space.index_matrix_to_features(idx).astype(np.int64)
+    runtimes = simulate_runtimes(profile, arch, values).runtime_ms
+    finite = np.isfinite(runtimes)
+    return idx[finite], np.log(runtimes[finite])
+
+
+def fitness_distance_correlation(
+    profile: WorkloadProfile,
+    arch: GpuArchitecture,
+    space: SearchSpace,
+    optimum_config: dict,
+    n_samples: int = 4096,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """FDC of log-runtime vs normalized L1 index distance to the optimum.
+
+    Values near +1: quality degrades smoothly with distance from the
+    optimum (easy, 'big valley' structure); near 0: distance carries no
+    information (hard for neighbourhood-based search).
+    """
+    rng = rng or np.random.default_rng(0)
+    idx, losses = _sample_landscape(profile, arch, space, n_samples, rng)
+    opt_idx = space.config_to_indices(optimum_config)
+    cards = space.cardinalities().astype(np.float64)
+    dists = (np.abs(idx - opt_idx[None, :]) / cards[None, :]).sum(axis=1)
+    if losses.std() == 0 or dists.std() == 0:
+        return 0.0
+    return float(np.corrcoef(dists, losses)[0, 1])
+
+
+def walk_autocorrelation(
+    profile: WorkloadProfile,
+    arch: GpuArchitecture,
+    space: SearchSpace,
+    walk_length: int = 512,
+    n_walks: int = 8,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Lag-1 autocorrelation of log-runtime along random one-step walks.
+
+    Each walk mutates one random parameter by +/-1 per step.  High values
+    (-> 1) mean neighbouring configurations perform alike — the landscape
+    is locally smooth at mutation resolution.
+    """
+    rng = rng or np.random.default_rng(0)
+    cards = space.cardinalities()
+    corrs = []
+    for _ in range(n_walks):
+        cfg = space.sample(rng, 1, feasible_only=True)[0]
+        pos = space.config_to_indices(cfg)
+        path = np.empty((walk_length, space.dimensions), dtype=np.int64)
+        for t in range(walk_length):
+            d = int(rng.integers(space.dimensions))
+            step = 1 if rng.random() < 0.5 else -1
+            pos[d] = int(np.clip(pos[d] + step, 0, cards[d] - 1))
+            path[t] = pos
+        values = space.index_matrix_to_features(path).astype(np.int64)
+        runtimes = simulate_runtimes(profile, arch, values).runtime_ms
+        finite = np.isfinite(runtimes)
+        losses = np.log(runtimes[finite])
+        if losses.size > 3 and losses.std() > 0:
+            corrs.append(
+                float(np.corrcoef(losses[:-1], losses[1:])[0, 1])
+            )
+    return float(np.mean(corrs)) if corrs else float("nan")
+
+
+def local_optima_fraction(
+    profile: WorkloadProfile,
+    arch: GpuArchitecture,
+    space: SearchSpace,
+    n_probes: int = 256,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Fraction of probed configurations that are 1-step local minima.
+
+    A probe is a local minimum if no single-parameter +/-1 move improves
+    its (noise-free) runtime.  Higher fractions mean more traps for
+    hill-climbing-style operators.
+    """
+    rng = rng or np.random.default_rng(0)
+    cards = space.cardinalities()
+    n_local = 0
+    n_valid = 0
+    for _ in range(n_probes):
+        cfg = space.sample(rng, 1, feasible_only=True)[0]
+        center = space.config_to_indices(cfg)
+        neighbours = [center]
+        for d in range(space.dimensions):
+            for step in (-1, 1):
+                cand = center.copy()
+                cand[d] = int(np.clip(cand[d] + step, 0, cards[d] - 1))
+                neighbours.append(cand)
+        batch = space.index_matrix_to_features(
+            np.stack(neighbours)
+        ).astype(np.int64)
+        runtimes = simulate_runtimes(profile, arch, batch).runtime_ms
+        if not np.isfinite(runtimes[0]):
+            continue
+        n_valid += 1
+        others = runtimes[1:]
+        others = others[np.isfinite(others)]
+        if others.size == 0 or runtimes[0] <= others.min():
+            n_local += 1
+    return n_local / n_valid if n_valid else float("nan")
+
+
+def good_region_density(
+    profile: WorkloadProfile,
+    arch: GpuArchitecture,
+    space: SearchSpace,
+    optimum_runtime_ms: float,
+    factors=(1.1, 1.25, 1.5, 2.0),
+    n_samples: int = 50_000,
+    rng: Optional[np.random.Generator] = None,
+) -> dict:
+    """Fraction of the feasible space within each factor of the optimum.
+
+    This is what best-of-N random search sees: with density ``p`` at
+    factor ``f``, RS needs ~``1/p`` samples to land within ``f`` of the
+    optimum once.
+    """
+    rng = rng or np.random.default_rng(0)
+    _, losses = _sample_landscape(profile, arch, space, n_samples, rng)
+    runtimes = np.exp(losses)
+    return {
+        float(f): float((runtimes <= f * optimum_runtime_ms).mean())
+        for f in factors
+    }
+
+
+@dataclass(frozen=True)
+class LandscapeStatistics:
+    """The combined structural fingerprint of one landscape."""
+
+    kernel: str
+    arch: str
+    optimum_runtime_ms: float
+    fdc: float
+    walk_autocorr: float
+    local_optima: float
+    good_region: dict  # factor -> density
+
+    def describe(self) -> str:
+        dens = ", ".join(
+            f"<= {f:.2f}x: {d:.3%}" for f, d in self.good_region.items()
+        )
+        return (
+            f"{self.kernel}/{self.arch}: optimum {self.optimum_runtime_ms:.3f} ms"
+            f" | FDC {self.fdc:+.2f} | walk-AC {self.walk_autocorr:.2f}"
+            f" | local minima {self.local_optima:.1%} | density {dens}"
+        )
+
+
+def analyze_landscape(
+    profile: WorkloadProfile,
+    arch: GpuArchitecture,
+    space: SearchSpace,
+    optimum_config: dict,
+    optimum_runtime_ms: float,
+    rng: Optional[np.random.Generator] = None,
+) -> LandscapeStatistics:
+    """All landscape statistics for one (kernel, architecture) pair."""
+    rng = rng or np.random.default_rng(0)
+    return LandscapeStatistics(
+        kernel=profile.name,
+        arch=arch.codename,
+        optimum_runtime_ms=optimum_runtime_ms,
+        fdc=fitness_distance_correlation(
+            profile, arch, space, optimum_config, rng=rng
+        ),
+        walk_autocorr=walk_autocorrelation(profile, arch, space, rng=rng),
+        local_optima=local_optima_fraction(profile, arch, space, rng=rng),
+        good_region=good_region_density(
+            profile, arch, space, optimum_runtime_ms, rng=rng
+        ),
+    )

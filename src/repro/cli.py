@@ -1,0 +1,135 @@
+"""Command-line entry point: run a (scaled) study and print the figures.
+
+Installed as ``repro-study``::
+
+    repro-study --kernels harris --archs titan_v \
+        --sample-sizes 25 100 400 --experiments-at-largest 5 \
+        --workers 2 --save results.json
+
+Defaults run a small smoke-scale study; ``--paper-scale`` switches to the
+full design from the paper (hours of compute).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import ExperimentDesign, StudyConfig, run_study
+from .gpu.arch import PAPER_ARCHITECTURES
+from .kernels import PAPER_KERNEL_NAMES
+from .reporting import (
+    figure2,
+    figure3,
+    figure4a,
+    figure4b,
+    render_heatmap,
+    render_lineplot,
+)
+from .search import PAPER_ALGORITHM_NAMES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description=(
+            "Reproduce the sample-size autotuning study "
+            "(Tørring & Elster 2022) on the simulated GPU testbed."
+        ),
+    )
+    parser.add_argument(
+        "--algorithms", nargs="+", default=list(PAPER_ALGORITHM_NAMES),
+        choices=list(PAPER_ALGORITHM_NAMES), help="algorithms to compare",
+    )
+    parser.add_argument(
+        "--kernels", nargs="+", default=list(PAPER_KERNEL_NAMES),
+        choices=list(PAPER_KERNEL_NAMES), help="benchmarks to run",
+    )
+    parser.add_argument(
+        "--archs", nargs="+", default=list(PAPER_ARCHITECTURES),
+        choices=list(PAPER_ARCHITECTURES), help="simulated GPUs",
+    )
+    parser.add_argument(
+        "--sample-sizes", nargs="+", type=int, default=[25, 50, 100],
+        help="sample sizes S",
+    )
+    parser.add_argument(
+        "--experiments-at-largest", type=int, default=5,
+        help="experiment count at the largest S (others scale inversely)",
+    )
+    parser.add_argument("--image-size", type=int, default=8192,
+                        help="square image size X = Y")
+    parser.add_argument("--seed", type=int, default=20220530)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = serial)")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="run the paper's full design (slow!)")
+    parser.add_argument("--save", metavar="PATH",
+                        help="save results JSON to PATH")
+    parser.add_argument("--svg-dir", metavar="DIR",
+                        help="also write every figure as SVG into DIR")
+    parser.add_argument("--no-figures", action="store_true",
+                        help="skip printing figures")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.paper_scale:
+        design = ExperimentDesign()
+    else:
+        design = ExperimentDesign(
+            sample_sizes=tuple(sorted(set(args.sample_sizes))),
+            experiments_at_largest=args.experiments_at_largest,
+        )
+    config = StudyConfig(
+        design=design,
+        algorithms=tuple(args.algorithms),
+        kernels=tuple(args.kernels),
+        archs=tuple(args.archs),
+        image_x=args.image_size,
+        image_y=args.image_size,
+        root_seed=args.seed,
+        workers=args.workers,
+    )
+    print(f"design: {design.describe()}")
+    results = run_study(config, progress=True)
+
+    if args.save:
+        results.save(args.save)
+        print(f"saved {len(results)} results to {args.save}")
+
+    if not args.no_figures:
+        for panel in figure2(results).panels.values():
+            print()
+            print(render_heatmap(panel))
+        print()
+        print(render_lineplot(figure3(results)))
+        if "random_search" in results.algorithms and len(results.algorithms) > 1:
+            for fig in (figure4a(results), figure4b(results)):
+                for panel in fig.panels.values():
+                    print()
+                    print(render_heatmap(panel, fmt="{:7.3f}"))
+
+    if args.svg_dir:
+        from .reporting import save_figure_svg
+
+        written = save_figure_svg(figure2(results), args.svg_dir)
+        written += save_figure_svg(figure3(results), args.svg_dir)
+        if "random_search" in results.algorithms and len(results.algorithms) > 1:
+            written += save_figure_svg(
+                figure4a(results), args.svg_dir, fmt="{:.2f}"
+            )
+            written += save_figure_svg(
+                figure4b(results), args.svg_dir, fmt="{:.2f}"
+            )
+        print(f"wrote {len(written)} SVG files to {args.svg_dir}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

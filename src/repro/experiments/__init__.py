@@ -1,0 +1,34 @@
+"""The paper's experimental pipeline: design, datasets, optima, studies."""
+
+from .dataset import PrecollectedDataset, collect_dataset
+from .design import (
+    PAPER_EXPERIMENTS_AT_LARGEST,
+    PAPER_SAMPLE_SIZES,
+    ExperimentDesign,
+    paper_design,
+)
+from .optimum import OptimumResult, clear_optimum_cache, find_true_optimum
+from .results import CellKey, ExperimentResult, StudyResults
+from .runner import ExperimentTask, run_experiment
+from .study import StudyConfig, build_tasks, paper_study_config, run_study
+
+__all__ = [
+    "ExperimentDesign",
+    "paper_design",
+    "PAPER_SAMPLE_SIZES",
+    "PAPER_EXPERIMENTS_AT_LARGEST",
+    "PrecollectedDataset",
+    "collect_dataset",
+    "OptimumResult",
+    "find_true_optimum",
+    "clear_optimum_cache",
+    "ExperimentResult",
+    "CellKey",
+    "StudyResults",
+    "ExperimentTask",
+    "run_experiment",
+    "StudyConfig",
+    "paper_study_config",
+    "run_study",
+    "build_tasks",
+]

@@ -1,0 +1,137 @@
+"""Single-experiment execution — the paper's measurement pipeline (Fig. 1).
+
+One *experiment* is: give one algorithm a budget of S kernel measurements
+on one (kernel, architecture) landscape, take its chosen configuration,
+and re-evaluate that configuration ``final_repeats`` (10) times "to
+compensate for runtime variance" (Section VI-A).  The mean of those
+repeats is the experiment's reported result.
+
+Everything here is a module-level function over a frozen, picklable
+:class:`ExperimentTask`, so the study orchestrator can fan experiments out
+across processes; per-experiment RNG streams are derived from the task's
+own key, making results independent of execution order and worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..gpu.arch import get_architecture
+from ..gpu.device import SimulatedDevice
+from ..gpu.noise import DEFAULT_NOISE, NoiseModel
+from ..kernels import get_kernel
+from ..parallel.rng import RngFactory
+from ..search import DatasetTuner, Objective, make_tuner
+from .dataset import PrecollectedDataset
+from .results import ExperimentResult
+
+__all__ = ["ExperimentTask", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """Everything one experiment needs, picklable for process fan-out."""
+
+    algorithm: str
+    kernel: str
+    arch: str
+    sample_size: int
+    experiment: int
+    root_seed: int
+    image_x: int = 8192
+    image_y: int = 8192
+    final_repeats: int = 10
+    noise: NoiseModel = DEFAULT_NOISE
+    #: (flats, runtimes) slice for non-SMBO tuners; None for live tuners.
+    dataset_flats: Optional[Tuple[int, ...]] = None
+    dataset_runtimes: Optional[Tuple[float, ...]] = None
+    #: Constructor overrides for the tuner (ablations).
+    tuner_kwargs: tuple = ()  # of (key, value) pairs, hashable
+
+    @property
+    def cell_key(self) -> str:
+        return (
+            f"{self.algorithm}/{self.kernel}/{self.arch}/"
+            f"{self.sample_size}/{self.experiment}"
+        )
+
+
+def run_experiment(task: ExperimentTask) -> ExperimentResult:
+    """Execute one experiment end-to-end (search + final re-evaluation)."""
+    kernel = get_kernel(task.kernel, task.image_x, task.image_y)
+    profile = kernel.profile()
+    space = kernel.space()
+    arch = get_architecture(task.arch)
+
+    rngs = RngFactory(task.root_seed)
+    device = SimulatedDevice(
+        arch,
+        profile,
+        noise=task.noise,
+        rng=rngs.stream_for(task.cell_key + "/device"),
+    )
+    search_rng = rngs.stream_for(task.cell_key + "/search")
+    tuner = make_tuner(task.algorithm, **dict(task.tuner_kwargs))
+
+    def measure(config: dict) -> float:
+        return device.measure(config).runtime_ms
+
+    if isinstance(tuner, DatasetTuner):
+        if task.dataset_flats is None or task.dataset_runtimes is None:
+            raise ValueError(
+                f"{task.algorithm} is a dataset (non-SMBO) tuner; the task "
+                f"must carry a dataset slice"
+            )
+        dataset = PrecollectedDataset(
+            flats=np.asarray(task.dataset_flats, dtype=np.int64),
+            runtimes_ms=np.asarray(task.dataset_runtimes, dtype=np.float64),
+        )
+        if dataset.size != task.sample_size:
+            raise ValueError(
+                f"dataset slice has {dataset.size} rows, expected "
+                f"sample_size={task.sample_size}"
+            )
+        reserve = tuner.live_reserve()
+        n_train = task.sample_size - reserve
+        if n_train < 1:
+            raise ValueError(
+                f"sample size {task.sample_size} too small for "
+                f"{task.algorithm} (reserves {reserve} live runs)"
+            )
+        train = dataset.slice_for(n_train, 0)
+        objective = (
+            Objective(space, measure, budget=reserve) if reserve > 0 else None
+        )
+        result = tuner.tune_from_dataset(
+            space,
+            train.configs(space),
+            train.runtimes_ms,
+            objective,
+            search_rng,
+        )
+    else:
+        objective = Objective(space, measure, budget=task.sample_size)
+        result = tuner.tune(objective, search_rng)
+
+    # Final re-evaluation (Section VI-A): the chosen configuration runs
+    # final_repeats more times; the mean is the reported outcome.
+    finals = [
+        m.runtime_ms
+        for m in device.measure_repeated(result.best_config, task.final_repeats)
+    ]
+    final_ms = float(np.mean(finals))
+
+    return ExperimentResult(
+        algorithm=task.algorithm,
+        kernel=task.kernel,
+        arch=task.arch,
+        sample_size=task.sample_size,
+        experiment=task.experiment,
+        final_runtime_ms=final_ms,
+        best_flat=space.config_to_flat(result.best_config),
+        observed_best_ms=result.best_runtime_ms,
+        samples_used=result.samples_used,
+    )

@@ -1,0 +1,222 @@
+"""Full-study orchestration: the paper's entire cross-product.
+
+The paper's study is 5 algorithms x 3 benchmarks x 3 architectures x
+5 sample sizes x (800..50) experiments — about 3 million kernel samples
+(Section VII, footnote 1).  :func:`run_study` reproduces that pipeline at
+any scale:
+
+1. collect the pre-measured dataset for each (kernel, architecture) —
+   the non-SMBO sample source (Section VI-B),
+2. compute each landscape's true optimum by exhaustive scan (the
+   denominator of "percentage of optimum"),
+3. fan every experiment out over a process pool with per-experiment
+   reproducible RNG streams,
+4. gather everything into a :class:`~repro.experiments.results.StudyResults`.
+
+``StudyConfig`` defaults to the paper's exact design; tests and benches
+shrink it via ``experiments_at_largest``, ``sample_sizes`` and the kernel/
+architecture lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..gpu.arch import PAPER_ARCHITECTURES, get_architecture
+from ..gpu.device import SimulatedDevice
+from ..gpu.noise import DEFAULT_NOISE, NoiseModel
+from ..kernels import PAPER_KERNEL_NAMES, get_kernel
+from ..parallel import ParallelMap, RngFactory
+from ..search import PAPER_ALGORITHM_NAMES, make_tuner
+from ..search.base import DatasetTuner
+from .dataset import PrecollectedDataset, collect_dataset
+from .design import ExperimentDesign
+from .optimum import find_true_optimum
+from .results import StudyResults
+from .runner import ExperimentTask, run_experiment
+
+__all__ = ["StudyConfig", "run_study", "paper_study_config"]
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Scale and composition of a study run."""
+
+    design: ExperimentDesign = field(default_factory=ExperimentDesign)
+    algorithms: Tuple[str, ...] = PAPER_ALGORITHM_NAMES
+    kernels: Tuple[str, ...] = PAPER_KERNEL_NAMES
+    archs: Tuple[str, ...] = tuple(PAPER_ARCHITECTURES)
+    image_x: int = 8192
+    image_y: int = 8192
+    root_seed: int = 20220530  # the paper's publication era
+    final_repeats: int = 10
+    noise: NoiseModel = DEFAULT_NOISE
+    #: Worker processes (None = all cores, 1 = serial).
+    workers: Optional[int] = 1
+    #: Per-algorithm constructor overrides, e.g.
+    #: ``{"bo_gp": (("init_fraction", 0.2),)}`` for ablations.
+    tuner_overrides: Tuple[Tuple[str, Tuple[Tuple[str, object], ...]], ...] = ()
+
+    def overrides_for(self, algorithm: str) -> tuple:
+        for name, kwargs in self.tuner_overrides:
+            if name == algorithm:
+                return kwargs
+        return ()
+
+    def validate(self) -> None:
+        if not self.algorithms:
+            raise ValueError("study needs at least one algorithm")
+        if not self.kernels:
+            raise ValueError("study needs at least one kernel")
+        if not self.archs:
+            raise ValueError("study needs at least one architecture")
+        for arch in self.archs:
+            get_architecture(arch)  # raises on unknown names
+        for alg in self.algorithms:
+            make_tuner(alg, **dict(self.overrides_for(alg)))
+
+
+def paper_study_config(workers: Optional[int] = None) -> StudyConfig:
+    """The paper's full-scale design (~3M samples — hours of compute)."""
+    return StudyConfig(workers=workers)
+
+
+def _needs_dataset(config: StudyConfig) -> bool:
+    return any(
+        isinstance(make_tuner(a, **dict(config.overrides_for(a))), DatasetTuner)
+        for a in config.algorithms
+    )
+
+
+def _collect_datasets(
+    config: StudyConfig,
+) -> Dict[Tuple[str, str], PrecollectedDataset]:
+    """One pre-measured dataset per (kernel, arch), reproducibly seeded."""
+    rngs = RngFactory(config.root_seed)
+    out: Dict[Tuple[str, str], PrecollectedDataset] = {}
+    rows = config.design.dataset_rows_required
+    for kname in config.kernels:
+        kernel = get_kernel(kname, config.image_x, config.image_y)
+        profile = kernel.profile()
+        space = kernel.space()
+        for aname in config.archs:
+            device = SimulatedDevice(
+                get_architecture(aname),
+                profile,
+                noise=config.noise,
+                rng=rngs.stream_for(f"dataset/{kname}/{aname}/device"),
+            )
+            out[(kname, aname)] = collect_dataset(
+                device,
+                space,
+                rows,
+                rngs.stream_for(f"dataset/{kname}/{aname}/sample"),
+            )
+    return out
+
+
+def _compute_optima(config: StudyConfig) -> Dict[Tuple[str, str], float]:
+    """True noise-free optimum of every (kernel, arch) landscape."""
+    out: Dict[Tuple[str, str], float] = {}
+    for kname in config.kernels:
+        kernel = get_kernel(kname, config.image_x, config.image_y)
+        profile = kernel.profile()
+        space = kernel.space()
+        for aname in config.archs:
+            opt = find_true_optimum(profile, get_architecture(aname), space)
+            out[(kname, aname)] = opt.runtime_ms
+    return out
+
+
+def build_tasks(
+    config: StudyConfig,
+    datasets: Dict[Tuple[str, str], PrecollectedDataset],
+) -> List[ExperimentTask]:
+    """The full task list for one study, in a deterministic order."""
+    tasks: List[ExperimentTask] = []
+    for alg in config.algorithms:
+        tuner = make_tuner(alg, **dict(config.overrides_for(alg)))
+        needs_data = isinstance(tuner, DatasetTuner)
+        for kname in config.kernels:
+            for aname in config.archs:
+                for size in config.design.sample_sizes:
+                    n_exp = config.design.experiments_for(size)
+                    for exp in range(n_exp):
+                        flats = runtimes = None
+                        if needs_data:
+                            sl = datasets[(kname, aname)].slice_for(size, exp)
+                            flats = tuple(int(f) for f in sl.flats)
+                            runtimes = tuple(
+                                float(r) for r in sl.runtimes_ms
+                            )
+                        tasks.append(
+                            ExperimentTask(
+                                algorithm=alg,
+                                kernel=kname,
+                                arch=aname,
+                                sample_size=size,
+                                experiment=exp,
+                                root_seed=config.root_seed,
+                                image_x=config.image_x,
+                                image_y=config.image_y,
+                                final_repeats=config.final_repeats,
+                                noise=config.noise,
+                                dataset_flats=flats,
+                                dataset_runtimes=runtimes,
+                                tuner_kwargs=config.overrides_for(alg),
+                            )
+                        )
+    return tasks
+
+
+def run_study(
+    config: StudyConfig,
+    compute_optima: bool = True,
+    progress: bool = False,
+) -> StudyResults:
+    """Run the full study described by ``config``.
+
+    Parameters
+    ----------
+    compute_optima:
+        Scan each landscape for its true optimum (needed for the Fig. 2/3
+        percentage-of-optimum metrics; skippable when only speedup/CLES
+        figures are wanted).
+    progress:
+        Print a line per completed phase (dataset, optima, experiments).
+    """
+    config.validate()
+
+    datasets: Dict[Tuple[str, str], PrecollectedDataset] = {}
+    if _needs_dataset(config):
+        datasets = _collect_datasets(config)
+        if progress:
+            print(f"collected {len(datasets)} datasets "
+                  f"({config.design.dataset_rows_required} rows each)")
+
+    optima: Dict[Tuple[str, str], float] = {}
+    if compute_optima:
+        optima = _compute_optima(config)
+        if progress:
+            print(f"scanned {len(optima)} landscapes for true optima")
+
+    tasks = build_tasks(config, datasets)
+    if progress:
+        print(f"running {len(tasks)} experiments "
+              f"on {config.workers or 'all'} workers")
+    results = ParallelMap(workers=config.workers).map(run_experiment, tasks)
+
+    metadata = {
+        "design": config.design.schedule,
+        "algorithms": list(config.algorithms),
+        "kernels": list(config.kernels),
+        "archs": list(config.archs),
+        "image": [config.image_x, config.image_y],
+        "root_seed": config.root_seed,
+        "final_repeats": config.final_repeats,
+        "total_experiments": len(tasks),
+    }
+    return StudyResults(results=results, optima=optima, metadata=metadata)

@@ -1,0 +1,47 @@
+"""Simulated GPU testbed: architectures, performance model, measurement.
+
+This package is the reproduction's substitute for the paper's physical
+GPUs (GTX 980, Titan V, RTX Titan).  See DESIGN.md section 1 for the
+substitution rationale: the search algorithms under study only ever
+observe (configuration -> noisy runtime) responses, so an analytic
+performance model with realistic parameter interactions preserves the
+behaviour the paper measures.
+"""
+
+from .arch import (
+    GTX_980,
+    PAPER_ARCHITECTURES,
+    RTX_TITAN,
+    TITAN_V,
+    GpuArchitecture,
+    get_architecture,
+)
+from .device import Measurement, SimulatedDevice, config_dict_to_row
+from .geometry import LaunchGeometry, derive_geometry
+from .noise import DEFAULT_NOISE, NOISELESS, NoiseModel
+from .occupancy import OccupancyResult, compute_occupancy
+from .simulator import CONFIG_COLUMNS, SimulationResult, simulate_runtimes
+from .workload import WorkloadProfile
+
+__all__ = [
+    "GpuArchitecture",
+    "GTX_980",
+    "TITAN_V",
+    "RTX_TITAN",
+    "PAPER_ARCHITECTURES",
+    "get_architecture",
+    "WorkloadProfile",
+    "LaunchGeometry",
+    "derive_geometry",
+    "OccupancyResult",
+    "compute_occupancy",
+    "SimulationResult",
+    "simulate_runtimes",
+    "CONFIG_COLUMNS",
+    "NoiseModel",
+    "DEFAULT_NOISE",
+    "NOISELESS",
+    "Measurement",
+    "SimulatedDevice",
+    "config_dict_to_row",
+]

@@ -1,0 +1,120 @@
+"""Instruction-throughput model: FLOP demand, divergence, warp utilization.
+
+Compute-side effects of the paper's tuning parameters:
+
+* **Warp fill** — blocks whose thread count is not a multiple of the warp
+  size leave lanes idle (a 1x1x1 work group runs at 1/32 of peak).
+* **Padding waste** — coarsening/work-group products that do not divide the
+  8192-wide image pad the grid, and padded elements burn instructions.
+* **Branch divergence** — Mandelbrot's escape-time loop runs a
+  pixel-dependent iteration count; a warp retires at its *slowest* lane, so
+  wide warp footprints over high-variance regions waste lanes.  Add and
+  Harris have uniform work and no divergence.
+* **ILP from coarsening** — a thread owning several elements has
+  independent instruction streams, which improves pipeline utilization at
+  low occupancy (the classic benefit of thread coarsening).
+
+Vectorized over configurations, like the rest of :mod:`repro.gpu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .arch import GpuArchitecture
+from .geometry import LaunchGeometry
+from .workload import WorkloadProfile
+
+__all__ = ["ComputeDemand", "divergence_efficiency", "ilp_factor", "compute_demand"]
+
+#: Instruction cost of a boundary-guard exit (compare + branch per dim).
+GUARD_FLOPS = 4.0
+
+
+def divergence_efficiency(
+    profile: WorkloadProfile,
+    geom: LaunchGeometry,
+    tx: np.ndarray,
+    ty: np.ndarray,
+) -> np.ndarray:
+    """Fraction of issued lane-cycles doing useful work under divergence.
+
+    A warp's footprint spans ``lanes_per_row * tx`` pixels in x and
+    ``rows_per_warp * ty`` pixels in y.  Per-element work varies with
+    coefficient of variation ``cv`` at spatial correlation length ``L``
+    (pixels); the warp pays for the maximum over the ``m`` roughly
+    independent work levels its footprint crosses, using the standard
+    extreme-value growth ``E[max of m] ~ mean * (1 + cv * sqrt(2 ln m))``.
+    Coarsening also *serializes* the thread's elements, which averages the
+    per-element work within a thread and softens divergence slightly —
+    captured by discounting the coarsened area's cell count.
+    """
+    cv = profile.divergence_cv
+    if cv <= 0.0:
+        return np.ones_like(geom.tile_x, dtype=np.float64)
+    tx = np.asarray(tx, dtype=np.float64)
+    ty = np.asarray(ty, dtype=np.float64)
+    span_x = geom.lanes_per_row.astype(np.float64) * tx
+    span_y = geom.rows_per_warp.astype(np.float64) * ty
+    # Within-thread serialization averages work over the thread's own
+    # sub-tile; only cross-lane spread produces divergence, so the
+    # footprint is discounted by the per-thread area's averaging effect.
+    averaging = np.sqrt(np.maximum(tx * ty, 1.0))
+    cells = (
+        (span_x * span_y) / (profile.divergence_corr_length**2) / averaging
+    )
+    # ln(1 + m) keeps a residual penalty for sub-cell footprints (the
+    # work field has variance at every scale near fractal boundaries)
+    # while matching the sqrt(2 ln m) extreme-value growth for large m.
+    worst = 1.0 + cv * np.sqrt(2.0 * np.log1p(cells))
+    return 1.0 / np.maximum(worst, 1.0)
+
+
+def ilp_factor(geom: LaunchGeometry) -> np.ndarray:
+    """Instruction-level-parallelism boost from thread coarsening.
+
+    Saturates at 8 independent element streams; beyond that register
+    pressure (handled by the occupancy model) dominates.
+    """
+    streams = np.minimum(geom.effective_coarsening.astype(np.float64), 8.0)
+    return 1.0 + 0.18 * np.log2(np.maximum(streams, 1.0))
+
+
+@dataclass(frozen=True)
+class ComputeDemand:
+    """Per-configuration instruction demand."""
+
+    #: Effective FP32 FLOPs to issue (includes padding, divergence and
+    #: warp-fill waste).
+    effective_flops: np.ndarray
+    #: Divergence efficiency in (0, 1].
+    divergence_eff: np.ndarray
+    #: ILP boost factor (>= 1).
+    ilp: np.ndarray
+
+
+def compute_demand(
+    profile: WorkloadProfile,
+    geom: LaunchGeometry,
+    arch: GpuArchitecture,
+    tx: np.ndarray,
+    ty: np.ndarray,
+) -> ComputeDemand:
+    """Effective instruction demand for each configuration."""
+    div_eff = divergence_efficiency(profile, geom, tx, ty)
+    ilp = ilp_factor(geom)
+
+    # Real elements carry the kernel body; padding positions only run the
+    # boundary guard (a compare-and-branch, ~4 instructions).
+    elements = float(profile.elements)
+    guard_positions = geom.padded_elements.astype(np.float64) - elements
+    flops = elements * profile.flops_per_element
+    flops = flops + elements * profile.sfu_per_element / max(arch.sfu_ratio, 1e-6)
+    flops = flops + GUARD_FLOPS * np.maximum(guard_positions, 0.0)
+    effective = flops / (geom.warp_fill * div_eff)
+
+    return ComputeDemand(
+        effective_flops=effective, divergence_eff=div_eff, ilp=ilp
+    )

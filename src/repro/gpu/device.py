@@ -1,0 +1,158 @@
+"""The simulated measurement harness — what a tuner actually talks to.
+
+:class:`SimulatedDevice` plays the role of the paper's benchmark runner
+(Section VI-A): it "transfers" input data over PCIe, launches the kernel,
+and times *only the kernel execution* — data transfers happen outside the
+timed region, exactly as the paper prescribes ("start the measurement
+timer *after* the transfer... stop *before* the data is transferred
+back").  Transfer costs are still modelled and reported so that end-to-end
+accounting (and tests of the measurement protocol) remain possible.
+
+Launch failures (the work-group product exceeding the device limit — the
+configurations the paper's unconstrained SMBO methods kept sampling) are
+reported as invalid measurements with infinite runtime, mirroring an
+OpenCL ``CL_INVALID_WORK_GROUP_SIZE`` error.
+
+The device also counts every kernel launch, which is how experiment code
+enforces the paper's fixed *sample budgets*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .arch import GpuArchitecture
+from .noise import DEFAULT_NOISE, NoiseModel
+from .simulator import CONFIG_COLUMNS, SimulationResult, simulate_runtimes
+from .workload import WorkloadProfile
+
+__all__ = ["Measurement", "SimulatedDevice", "PCIE_BANDWIDTH_GBS"]
+
+#: Host <-> device transfer bandwidth (PCIe 3.0 x16 sustained).
+PCIE_BANDWIDTH_GBS = 12.0
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timed kernel run."""
+
+    #: Measured kernel time in milliseconds (``inf`` if the launch failed).
+    runtime_ms: float
+    #: False for launch failures.
+    valid: bool
+    #: Host->device + device->host transfer time (ms), *not* included in
+    #: ``runtime_ms`` per the paper's measurement protocol.
+    transfer_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end time including transfers (diagnostic only)."""
+        return self.runtime_ms + self.transfer_ms
+
+
+def config_dict_to_row(config: Mapping[str, int]) -> np.ndarray:
+    """Configuration dict -> simulator row in :data:`CONFIG_COLUMNS` order."""
+    try:
+        return np.array([int(config[c]) for c in CONFIG_COLUMNS], dtype=np.int64)
+    except KeyError as exc:
+        raise KeyError(
+            f"configuration is missing parameter {exc.args[0]!r}; the GPU "
+            f"simulator needs all of {CONFIG_COLUMNS}"
+        ) from None
+
+
+class SimulatedDevice:
+    """A virtual GPU running one workload under measurement noise.
+
+    Parameters
+    ----------
+    arch:
+        The simulated architecture.
+    profile:
+        The workload (kernel + problem size) this device instance runs.
+    noise:
+        Measurement-noise model; defaults to the paper-reproduction level.
+    rng:
+        Generator for the noise stream.  Supply a dedicated stream from
+        :class:`repro.parallel.RngFactory` for reproducible experiments.
+    """
+
+    def __init__(
+        self,
+        arch: GpuArchitecture,
+        profile: WorkloadProfile,
+        noise: NoiseModel = DEFAULT_NOISE,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.arch = arch
+        self.profile = profile
+        self.noise = noise
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._launches = 0
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def launches(self) -> int:
+        """Total kernel launches performed (the paper's 'samples')."""
+        return self._launches
+
+    def reset_counter(self) -> None:
+        self._launches = 0
+
+    # -- transfers ----------------------------------------------------------
+    def transfer_time_ms(self) -> float:
+        """Modelled host->device + device->host transfer time."""
+        eb = self.profile.element_bytes
+        in_bytes = self.profile.elements * self.profile.reads_per_element * eb
+        out_bytes = self.profile.elements * self.profile.writes_per_element * eb
+        return (in_bytes + out_bytes) / (PCIE_BANDWIDTH_GBS * 1e9) * 1e3
+
+    # -- measurement ----------------------------------------------------------
+    def measure(self, config: Mapping[str, int]) -> Measurement:
+        """Run the kernel once with ``config`` and time it."""
+        return self.measure_repeated(config, repeats=1)[0]
+
+    def measure_repeated(
+        self, config: Mapping[str, int], repeats: int
+    ) -> List[Measurement]:
+        """Run the kernel ``repeats`` times (the paper re-runs the final
+        configuration 10x to compensate for runtime variance)."""
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        row = config_dict_to_row(config)
+        sim = simulate_runtimes(self.profile, self.arch, row)
+        true_ms = np.repeat(sim.runtime_ms, repeats)
+        noisy = self.noise.apply(true_ms, self.rng)
+        self._launches += repeats
+        transfer = self.transfer_time_ms()
+        valid = not bool(sim.launch_failure[0])
+        return [
+            Measurement(runtime_ms=float(t), valid=valid, transfer_ms=transfer)
+            for t in noisy
+        ]
+
+    def measure_batch(self, configs: Sequence[Mapping[str, int]]) -> np.ndarray:
+        """One noisy measurement per configuration (vectorized fast path).
+
+        Returns runtimes in ms; ``inf`` marks launch failures.  Used for
+        the paper's pre-collected 20,000-sample datasets.
+        """
+        if len(configs) == 0:
+            return np.empty(0, dtype=np.float64)
+        matrix = np.stack([config_dict_to_row(c) for c in configs])
+        return self.measure_matrix(matrix)
+
+    def measure_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Like :meth:`measure_batch` for a pre-built ``(n, 6)`` matrix."""
+        sim = simulate_runtimes(self.profile, self.arch, matrix)
+        noisy = self.noise.apply(sim.runtime_ms, self.rng)
+        self._launches += int(matrix.shape[0] if matrix.ndim == 2 else 1)
+        return noisy
+
+    def true_runtimes(self, matrix: np.ndarray) -> SimulationResult:
+        """Noise-free simulation (for optima and tests); not counted as
+        launches — nothing 'runs'."""
+        return simulate_runtimes(self.profile, self.arch, matrix)

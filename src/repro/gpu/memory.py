@@ -1,0 +1,212 @@
+"""Memory-hierarchy model: DRAM traffic with coalescing and stencil reuse.
+
+The dominant performance effects of the paper's tuning parameters on
+memory-bound image kernels are:
+
+* **Coalescing** — a warp's lanes are laid out x-fastest, so the work-group
+  x-dimension and the x-coarsening stride decide how many 32-byte DRAM
+  sectors each warp access touches versus how many bytes it actually uses.
+* **Stencil halo traffic** — a radius-r kernel reads a ``(2r+1)^2``
+  neighbourhood; in-block reuse through L1/texture cache makes the *tile
+  footprint* the unique traffic, and the tile halo is the redundant part
+  (shrinking with larger tiles).
+* **Cache forgiveness** — newer architectures absorb much of the
+  over-fetch (Volta/Turing unified L1), older ones (Maxwell global loads
+  skipping L1) do not.  This is what moves optima between the paper's three
+  GPUs.
+
+Everything here is vectorized over configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .arch import GpuArchitecture
+from .geometry import LaunchGeometry
+from .workload import WorkloadProfile
+
+__all__ = ["MemoryDemand", "coalescing_overfetch", "memory_demand"]
+
+
+def _ceil_div_f(a: np.ndarray, b: float) -> np.ndarray:
+    return np.ceil(a / b)
+
+
+@dataclass(frozen=True)
+class MemoryDemand:
+    """Per-configuration DRAM traffic decomposition (bytes)."""
+
+    #: Total effective DRAM bytes moved (reads + writes, incl. over-fetch).
+    total_bytes: np.ndarray
+    #: Read over-fetch factor actually charged (>= 1).
+    read_overfetch: np.ndarray
+    #: Write over-fetch factor actually charged (>= 1).
+    write_overfetch: np.ndarray
+    #: Stencil read amplification charged after cache recovery (>= 1).
+    stencil_amplification: np.ndarray
+
+
+def coalescing_overfetch(
+    lanes_per_row: np.ndarray,
+    rows_per_warp: np.ndarray,
+    stride_elements: np.ndarray,
+    arch: GpuArchitecture,
+    element_bytes: int,
+) -> np.ndarray:
+    """Raw over-fetch factor of one warp-wide access (before caching).
+
+    Lanes within a row segment access addresses ``stride_elements`` apart
+    (thread coarsening in x makes each thread own a run of consecutive
+    elements, so lane addresses stride by ``tx``).  DRAM moves whole
+    32-byte sectors; the over-fetch factor is sectors-moved * 32 over
+    bytes-used.
+
+    Two regimes fall out naturally:
+
+    * ``stride == 1`` and ``lanes_per_row`` covering a full sector run:
+      near-perfect coalescing (factor ~1).
+    * large strides: every lane touches its own sector, factor
+      ``sector_bytes / element_bytes`` (8x for float32).
+    """
+    lanes = np.asarray(lanes_per_row, dtype=np.float64)
+    stride = np.asarray(stride_elements, dtype=np.float64)
+    sector = float(arch.sector_bytes)
+    eb = float(element_bytes)
+
+    elems_per_sector = sector / eb
+    # Distinct sectors touched by one row segment in one access iteration:
+    # lanes at element offsets {0, s, 2s, ...} hit min(lanes, span/sector)
+    # distinct sectors, at least one.
+    span_sectors = _ceil_div_f(lanes * np.maximum(stride, 1.0), elems_per_sector)
+    sectors = np.minimum(lanes, span_sectors)
+    sectors = np.maximum(sectors, 1.0)
+    useful = lanes * eb
+    per_row = sectors * sector / useful
+    # Row segments are independent (different image rows -> far apart), so
+    # the per-row factor applies to each of the warp's rows equally.
+    return np.maximum(per_row, 1.0) * np.ones_like(
+        np.asarray(rows_per_warp, dtype=np.float64)
+    )
+
+
+def _cached_overfetch(
+    raw: np.ndarray,
+    lanes_per_row: np.ndarray,
+    stride_elements: np.ndarray,
+    arch: GpuArchitecture,
+    element_bytes: int,
+) -> np.ndarray:
+    """Over-fetch after cache recovery of cross-iteration reuse.
+
+    A thread with coarsening ``tx`` touches ``tx`` *consecutive* elements
+    over its iterations, so the union of a row segment's accesses is one
+    contiguous run — with an ideal cache only sector-granularity waste at
+    the run edges remains.  Real caches recover a fraction
+    ``arch.cache_effectiveness`` of the difference, and the residual is
+    sharpened by ``arch.coalescing_strictness``.
+    """
+    lanes = np.asarray(lanes_per_row, dtype=np.float64)
+    stride = np.maximum(np.asarray(stride_elements, dtype=np.float64), 1.0)
+    sector = float(arch.sector_bytes)
+    eb = float(element_bytes)
+
+    run_bytes = lanes * stride * eb  # contiguous union of the segment
+    ideal = _ceil_div_f(run_bytes, sector) * sector / run_bytes
+    effective = ideal + (1.0 - arch.cache_effectiveness) * (raw - ideal)
+    return np.maximum(effective, 1.0) ** arch.coalescing_strictness
+
+
+def _stencil_amplification(
+    profile: WorkloadProfile, geom: LaunchGeometry, arch: GpuArchitecture
+) -> np.ndarray:
+    """Read amplification from stencil halos, after L2 recovery.
+
+    One block's unique input footprint is ``(tile_x + 2r)(tile_y + 2r)``
+    for ``tile_x * tile_y`` outputs (times ``(tile_z + 2r)/tile_z`` for
+    3-D problems).  Neighbouring blocks share halos; the L2 serves a
+    fraction of that sharing (``cache_effectiveness`` scaled by how much
+    of a grid row of footprints fits in L2).
+    """
+    r = profile.stencil_radius
+    if r == 0:
+        return np.ones_like(geom.tile_x, dtype=np.float64)
+    tile_x = geom.tile_x.astype(np.float64)
+    tile_y = geom.tile_y.astype(np.float64)
+    footprint = (tile_x + 2 * r) * (tile_y + 2 * r)
+    amp = footprint / (tile_x * tile_y)
+    if profile.z_size > 1:
+        tile_z = np.minimum(
+            geom.tile_z.astype(np.float64), float(profile.z_size)
+        )
+        amp = amp * (tile_z + 2 * r) / tile_z
+
+    # L2 halo recovery: a stripe of blocks along x re-uses y-halos if the
+    # stripe footprint fits in L2.
+    stripe_bytes = (
+        profile.x_size * (tile_y + 2 * r) * profile.element_bytes
+    )
+    fit = np.minimum(1.0, arch.l2_size_bytes / np.maximum(stripe_bytes, 1.0))
+    recovery = arch.cache_effectiveness * (0.5 + 0.5 * fit)
+    return 1.0 + (amp - 1.0) * (1.0 - recovery)
+
+
+def memory_demand(
+    profile: WorkloadProfile,
+    geom: LaunchGeometry,
+    arch: GpuArchitecture,
+    tx: np.ndarray,
+) -> MemoryDemand:
+    """Total effective DRAM bytes for each configuration.
+
+    Parameters
+    ----------
+    tx:
+        X-coarsening factors (the lane stride for coalescing purposes).
+    """
+    tx = np.asarray(tx, dtype=np.float64)
+    raw = coalescing_overfetch(
+        geom.lanes_per_row, geom.rows_per_warp, tx, arch, profile.element_bytes
+    )
+    read_of = _cached_overfetch(
+        raw, geom.lanes_per_row, tx, arch, profile.element_bytes
+    )
+    # Writes use byte masks on all three architectures: sector waste is
+    # charged only once (no re-read), modelled as a square-root softening.
+    if profile.writes_transposed:
+        # Column-major output: consecutive lanes write y_size elements
+        # apart — every lane touches its own sector, and the runs are too
+        # far apart for cache recovery within a warp's lifetime.
+        stride = np.full_like(tx, float(profile.y_size))
+        raw_w = coalescing_overfetch(
+            geom.lanes_per_row, geom.rows_per_warp, stride, arch,
+            profile.element_bytes,
+        )
+        write_of = _cached_overfetch(
+            raw_w, geom.lanes_per_row, stride, arch, profile.element_bytes
+        )
+    else:
+        write_of = np.sqrt(read_of)
+
+    amp = _stencil_amplification(profile, geom, arch)
+
+    # Only real elements move data: padding positions exit at the boundary
+    # guard before touching memory.
+    elements = float(profile.elements)
+    eb = float(profile.element_bytes)
+    if profile.stencil_radius > 0:
+        # In-block reuse through L1/texture collapses the (2r+1)^2 reads to
+        # the unique tile footprint; `amp` carries the residual halo cost.
+        read_bytes = elements * eb * amp * read_of
+    else:
+        read_bytes = elements * profile.reads_per_element * eb * read_of
+    write_bytes = elements * profile.writes_per_element * eb * write_of
+
+    return MemoryDemand(
+        total_bytes=read_bytes + write_bytes,
+        read_overfetch=read_of,
+        write_overfetch=write_of,
+        stencil_amplification=amp,
+    )

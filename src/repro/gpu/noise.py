@@ -1,0 +1,80 @@
+"""Measurement-noise model for simulated kernel timings.
+
+Section II-C of the paper motivates its statistical machinery with the
+observation that measured runtimes vary with "OS scheduling, caching, clock
+frequencies, branch predictors, etc.", and Section V-A notes the resulting
+sample populations were clearly non-Gaussian.  We reproduce that regime
+with a two-component multiplicative model:
+
+* a **lognormal base jitter** (clocks, scheduling slack) — multiplicative,
+  right-skewed, never below a physical floor; and
+* **occasional contention spikes** (another process grabbing the GPU, DVFS
+  drops) — a small probability of a substantially slower run.
+
+The resulting populations are right-skewed and heavy-tailed — i.e.
+non-Gaussian, as the paper found — which is what makes the Mann-Whitney U
+test (rather than a t-test) the right significance test downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseModel", "DEFAULT_NOISE", "NOISELESS"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Multiplicative measurement noise.
+
+    ``measured = true * exp(sigma * N(0,1)) * spike`` where ``spike`` is
+    1 with probability ``1 - spike_probability`` and uniform in
+    ``[1, 1 + spike_magnitude]`` otherwise.
+    """
+
+    #: Lognormal sigma of the base jitter (~4 % runtime CV by default).
+    sigma: float = 0.04
+    #: Probability of a contention spike per measurement.
+    spike_probability: float = 0.02
+    #: Maximum relative slowdown of a spike.
+    spike_magnitude: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        if not 0.0 <= self.spike_probability <= 1.0:
+            raise ValueError("spike_probability must be in [0, 1]")
+        if self.spike_magnitude < 0:
+            raise ValueError("spike_magnitude must be >= 0")
+
+    def apply(
+        self, true_runtime_ms: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Noisy measurements for the given true runtimes.
+
+        ``inf`` entries (launch failures) pass through unchanged — a failed
+        launch is deterministic.
+        """
+        true_runtime_ms = np.asarray(true_runtime_ms, dtype=np.float64)
+        out = true_runtime_ms.copy()
+        finite = np.isfinite(out)
+        n = int(finite.sum())
+        if n == 0:
+            return out
+        jitter = np.exp(self.sigma * rng.standard_normal(n))
+        spikes = np.where(
+            rng.random(n) < self.spike_probability,
+            1.0 + rng.random(n) * self.spike_magnitude,
+            1.0,
+        )
+        out[finite] = out[finite] * jitter * spikes
+        return out
+
+
+#: Noise level used for all paper-reproduction experiments.
+DEFAULT_NOISE = NoiseModel()
+
+#: Exact measurements (for tests and for computing true optima).
+NOISELESS = NoiseModel(sigma=0.0, spike_probability=0.0, spike_magnitude=0.0)

@@ -1,0 +1,152 @@
+"""Workload profiles: the performance-relevant characterization of a kernel.
+
+A :class:`WorkloadProfile` captures everything the GPU performance model
+needs to know about a kernel — per-element arithmetic and memory demand,
+stencil halo shape, control divergence statistics, and register pressure —
+without referencing the kernel's semantics.  Kernel definitions in
+:mod:`repro.kernels` each carry one of these; the simulator in
+:mod:`repro.gpu.simulator` consumes it together with a tuning configuration
+and an architecture.
+
+Keeping the profile separate from the kernel class avoids a circular
+dependency (kernels depend on the GPU layer, never the reverse) and makes
+the simulator independently testable with synthetic profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WorkloadProfile"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Performance characterization of one kernel on one problem size.
+
+    The defaults describe a featureless streaming kernel; see
+    ``repro.kernels.{add,harris,mandelbrot}`` for calibrated instances.
+    """
+
+    name: str
+
+    # -- problem geometry ---------------------------------------------------
+    x_size: int
+    y_size: int
+    z_size: int = 1
+    element_bytes: int = 4  # float32 images throughout the suite
+
+    # -- per-element memory demand -------------------------------------------
+    #: Input values read per output element *before* any stencil reuse
+    #: (e.g. 2.0 for `c = a + b`).
+    reads_per_element: float = 1.0
+    #: Values written per output element.
+    writes_per_element: float = 1.0
+    #: Stencil radius in pixels.  A radius r kernel reads an
+    #: (2r+1)x(2r+1) neighbourhood (x(2r+1) again for 3-D problems) whose
+    #: interior traffic is served by cache reuse inside a block tile; only
+    #: the tile halo costs extra DRAM traffic.  0 disables stencil
+    #: modelling.
+    stencil_radius: int = 0
+    #: Output written in transposed (column-major) order: consecutive
+    #: lanes write ``y_size`` elements apart, the classic transpose
+    #: coalescing problem.
+    writes_transposed: bool = False
+
+    # -- per-element compute demand --------------------------------------------
+    #: FP32 FLOPs per output element (FMA counted as 2).
+    flops_per_element: float = 1.0
+    #: Special-function-unit operations per element (divides, sqrt, ...).
+    sfu_per_element: float = 0.0
+
+    # -- control divergence -------------------------------------------------------
+    #: Coefficient of variation of per-element work.  0 = uniform work
+    #: (Add, Harris); Mandelbrot's escape-time loop gives a large value.
+    divergence_cv: float = 0.0
+    #: Spatial correlation length of per-element work, in pixels.  Work
+    #: varies smoothly at this scale, so warps whose footprint stays below
+    #: it suffer little divergence.
+    divergence_corr_length: float = 64.0
+
+    # -- register pressure ----------------------------------------------------------
+    #: Registers per thread with coarsening factor 1.
+    base_registers: float = 28.0
+    #: Additional registers per extra coarsened element (live values kept
+    #: per in-flight element; sub-linear growth is applied by the model).
+    registers_per_element: float = 3.0
+
+    # -- landscape ruggedness --------------------------------------------------
+    #: *Deterministic* per-configuration ruggedness: unmodellable
+    #: micro-architectural interactions (shared-memory bank conflicts,
+    #: instruction scheduling, partition camping) that make real tuning
+    #: landscapes locally jagged.  Unlike measurement noise this is a fixed
+    #: property of each configuration, so it caps how precisely *any*
+    #: surrogate model can rank near-optimal configurations.
+    #:
+    #: The term is asymmetric — ``exp(sigma_slow * max(z,0) +
+    #: sigma_fast * min(z,0))`` for a config-hashed standard normal ``z`` —
+    #: because such conflicts only ever *slow a configuration down*
+    #: relative to the analytic bound; there is no matching lucky speedup.
+    #: The small downside keeps a shallow residual lottery among
+    #: near-optimal configurations.  This asymmetry is what keeps the
+    #: speedup of thorough search over plain random search at large sample
+    #: sizes in the paper's observed few-percent range.
+    ruggedness_sigma_slow: float = 0.30
+    ruggedness_sigma_fast: float = 0.05
+
+    # -- shared memory -------------------------------------------------------------
+    #: Static shared-memory bytes per *thread-processed element* (kernels
+    #: staging tiles in local memory); 0 for the paper's suite.
+    shared_bytes_per_element: float = 0.0
+    #: Static shared-memory bytes per *thread* regardless of coarsening
+    #: (e.g. one accumulator slot per thread in a block reduction).
+    shared_bytes_per_thread: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.x_size, self.y_size, self.z_size) < 1:
+            raise ValueError(f"{self.name}: problem sizes must be positive")
+        if self.element_bytes < 1:
+            raise ValueError(f"{self.name}: element_bytes must be positive")
+        if self.stencil_radius < 0:
+            raise ValueError(f"{self.name}: stencil_radius must be >= 0")
+        for field_name in ("reads_per_element", "writes_per_element",
+                           "flops_per_element", "sfu_per_element",
+                           "divergence_cv", "base_registers",
+                           "registers_per_element", "ruggedness_sigma_slow",
+                           "ruggedness_sigma_fast",
+                           "shared_bytes_per_element",
+                           "shared_bytes_per_thread"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{self.name}: {field_name} must be >= 0")
+
+    @property
+    def elements(self) -> int:
+        """Total output elements in the problem."""
+        return self.x_size * self.y_size * self.z_size
+
+    @property
+    def is_2d(self) -> bool:
+        return self.z_size == 1
+
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of compulsory (reuse-perfect) DRAM traffic."""
+        bytes_per_elem = (
+            self.reads_per_element + self.writes_per_element
+        ) * self.element_bytes
+        if self.stencil_radius > 0:
+            # With ideal reuse a stencil reads each input once.
+            bytes_per_elem = (1.0 + self.writes_per_element) * self.element_bytes
+        return self.flops_per_element / max(bytes_per_elem, 1e-12)
+
+    def register_pressure(self, coarsening: np.ndarray) -> np.ndarray:
+        """Registers per thread as a function of total coarsening factor.
+
+        Growth is sub-linear (``coarsening ** 0.75``): compilers re-use
+        registers across unrolled iterations but live ranges still widen.
+        """
+        coarsening = np.asarray(coarsening, dtype=np.float64)
+        return self.base_registers + self.registers_per_element * (
+            np.maximum(coarsening, 1.0) ** 0.75 - 1.0
+        )

@@ -1,0 +1,37 @@
+"""Mini-ImageCL: parse, analyze, execute and autotune kernel source.
+
+A miniature front-end for the language the paper's system (ImageCL /
+AUMA, Falch & Elster 2016/2017) autotunes — enough to write the
+benchmark kernels as source, derive their performance profiles by static
+analysis, and push them through the same tuning pipeline as the built-in
+suite::
+
+    from repro.imagecl import compile_kernel
+
+    blur = compile_kernel('''
+        kernel blur(image in float src, image out float dst) {
+            float s = src[x-1, y] + src[x, y] + src[x+1, y];
+            dst[x, y] = s / 3.0;
+        }
+    ''', x_size=4096, y_size=4096)
+    blur.profile()      # -> WorkloadProfile from static analysis
+    blur.reference({...})  # -> NumPy execution
+"""
+
+from .analyze import KernelAnalysis, analyze_kernel, profile_from_analysis
+from .ast import KernelDef
+from .compile import ImageClKernel, compile_kernel, execute_kernel
+from .parser import BUILTINS, ImageClSyntaxError, parse_kernel
+
+__all__ = [
+    "parse_kernel",
+    "ImageClSyntaxError",
+    "BUILTINS",
+    "KernelDef",
+    "analyze_kernel",
+    "KernelAnalysis",
+    "profile_from_analysis",
+    "compile_kernel",
+    "execute_kernel",
+    "ImageClKernel",
+]

@@ -1,0 +1,154 @@
+"""AST for the mini-ImageCL kernel language.
+
+ImageCL (Falch & Elster 2016) is an OpenCL-based language for image
+processing whose launch parameters (work-group shape, thread coarsening)
+are lifted out as tuning parameters — the system the paper autotunes.
+This package implements a miniature ImageCL front-end: enough of the
+language to express the paper's benchmark kernels as *source code*, have
+their performance characterization derived by static analysis, and run
+them through the same tuning pipeline as the hand-written suite.
+
+The language (see :mod:`repro.imagecl.parser` for the grammar) has:
+
+* ``image`` parameters (2-D float arrays), declared ``in`` or ``out``,
+* scalar ``float`` parameters,
+* per-pixel semantics: the kernel body runs once per output pixel, with
+  the builtin coordinates ``x`` and ``y``,
+* relative image indexing ``img[x + dx, y + dy]`` with constant offsets
+  (clamped at the edges, like OpenCL's CLK_ADDRESS_CLAMP_TO_EDGE),
+* ``float`` local variable declarations, assignments, arithmetic
+  (``+ - * /``), unary minus, comparisons and a ternary ``?:``, and the
+  builtins ``sqrt``, ``abs``, ``min``, ``max``, ``exp``, ``log``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Expr", "Number", "ScalarRef", "VarRef", "CoordRef", "ImageRead",
+    "Unary", "Binary", "Call", "Ternary",
+    "Stmt", "Declare", "Assign", "ImageWrite",
+    "ImageParam", "ScalarParam", "KernelDef",
+]
+
+
+class Expr:
+    """Base class of expressions."""
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    value: float
+
+
+@dataclass(frozen=True)
+class ScalarRef(Expr):
+    """Reference to a scalar kernel parameter."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """Reference to a declared local variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class CoordRef(Expr):
+    """The builtin pixel coordinates ``x`` or ``y``."""
+
+    axis: str  # "x" or "y"
+
+
+@dataclass(frozen=True)
+class ImageRead(Expr):
+    """``img[x + dx, y + dy]`` with constant offsets."""
+
+    image: str
+    dx: int
+    dy: int
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # "-"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # + - * / < > <= >= == !=
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    func: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+class Stmt:
+    """Base class of statements."""
+
+
+@dataclass(frozen=True)
+class Declare(Stmt):
+    """``float name = expr;``"""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``name = expr;`` (to a previously declared local)."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ImageWrite(Stmt):
+    """``img[x, y] = expr;`` — offsets on writes must be zero."""
+
+    image: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ImageParam:
+    name: str
+    direction: str  # "in" or "out"
+
+
+@dataclass(frozen=True)
+class ScalarParam:
+    name: str
+
+
+@dataclass(frozen=True)
+class KernelDef:
+    """A parsed kernel: signature + body."""
+
+    name: str
+    images: Tuple[ImageParam, ...]
+    scalars: Tuple[ScalarParam, ...]
+    body: Tuple[Stmt, ...]
+
+    def input_images(self) -> List[str]:
+        return [p.name for p in self.images if p.direction == "in"]
+
+    def output_images(self) -> List[str]:
+        return [p.name for p in self.images if p.direction == "out"]

@@ -1,0 +1,340 @@
+"""Tokenizer and recursive-descent parser for mini-ImageCL.
+
+Grammar (EBNF-ish)::
+
+    kernel      := "kernel" IDENT "(" params ")" "{" stmt* "}"
+    params      := param ("," param)*
+    param       := "image" ("in" | "out") "float" IDENT
+                 | "float" IDENT
+    stmt        := "float" IDENT "=" expr ";"
+                 | IDENT "=" expr ";"
+                 | IDENT "[" "x" "," "y" "]" "=" expr ";"
+    expr        := ternary
+    ternary     := compare ("?" expr ":" expr)?
+    compare     := additive (("<"|">"|"<="|">="|"=="|"!=") additive)?
+    additive    := term (("+"|"-") term)*
+    term        := factor (("*"|"/") factor)*
+    factor      := NUMBER | "-" factor | "(" expr ")"
+                 | IDENT "(" expr ("," expr)* ")"        # builtin call
+                 | IDENT "[" index "," index "]"         # image read
+                 | IDENT                                  # var/scalar/x/y
+    index       := ("x" | "y") (("+"|"-") NUMBER)?
+
+Errors raise :class:`ImageClSyntaxError` with line/column context.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Tuple
+
+from .ast import (
+    Assign,
+    Binary,
+    Call,
+    CoordRef,
+    Declare,
+    Expr,
+    ImageParam,
+    ImageRead,
+    ImageWrite,
+    KernelDef,
+    Number,
+    ScalarParam,
+    ScalarRef,
+    Stmt,
+    Ternary,
+    Unary,
+    VarRef,
+)
+
+__all__ = ["parse_kernel", "ImageClSyntaxError", "BUILTINS"]
+
+#: Builtin math functions with their arities.
+BUILTINS = {"sqrt": 1, "abs": 1, "exp": 1, "log": 1, "min": 2, "max": 2}
+
+
+class ImageClSyntaxError(SyntaxError):
+    """A mini-ImageCL parse or semantic error with source position."""
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+    col: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|==|!=|[-+*/<>=(){},;\[\]?:])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"kernel", "image", "in", "out", "float"}
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    line, col = 1, 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ImageClSyntaxError(
+                f"line {line}:{col}: unexpected character {source[pos]!r}"
+            )
+        text = match.group(0)
+        if match.lastgroup != "ws":
+            kind = match.lastgroup
+            if kind == "ident" and text in _KEYWORDS:
+                kind = "keyword"
+            tokens.append(_Token(kind, text, line, col))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            col = len(text) - text.rfind("\n")
+        else:
+            col += len(text)
+        pos = match.end()
+    tokens.append(_Token("eof", "", line, col))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self.tokens = tokens
+        self.i = 0
+        self.image_names: set = set()
+        self.scalar_names: set = set()
+        self.local_names: set = set()
+
+    # -- token plumbing -----------------------------------------------------
+    @property
+    def cur(self) -> _Token:
+        return self.tokens[self.i]
+
+    def _fail(self, message: str) -> None:
+        t = self.cur
+        raise ImageClSyntaxError(
+            f"line {t.line}:{t.col}: {message} (found {t.text!r})"
+        )
+
+    def accept(self, text: str) -> bool:
+        if self.cur.text == text:
+            self.i += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> _Token:
+        if self.cur.text != text:
+            self._fail(f"expected {text!r}")
+        tok = self.cur
+        self.i += 1
+        return tok
+
+    def expect_kind(self, kind: str) -> _Token:
+        if self.cur.kind != kind:
+            self._fail(f"expected {kind}")
+        tok = self.cur
+        self.i += 1
+        return tok
+
+    # -- grammar --------------------------------------------------------------
+    def parse(self) -> KernelDef:
+        self.expect("kernel")
+        name = self.expect_kind("ident").text
+        self.expect("(")
+        images: List[ImageParam] = []
+        scalars: List[ScalarParam] = []
+        while not self.accept(")"):
+            if self.accept("image"):
+                if self.accept("in"):
+                    direction = "in"
+                elif self.accept("out"):
+                    direction = "out"
+                else:
+                    self._fail("expected 'in' or 'out' after 'image'")
+                self.expect("float")
+                pname = self.expect_kind("ident").text
+                images.append(ImageParam(pname, direction))
+                self.image_names.add(pname)
+            elif self.accept("float"):
+                pname = self.expect_kind("ident").text
+                scalars.append(ScalarParam(pname))
+                self.scalar_names.add(pname)
+            else:
+                self._fail("expected parameter declaration")
+            if self.cur.text != ")":
+                self.expect(",")
+        for reserved in ("x", "y"):
+            if reserved in self.image_names | self.scalar_names:
+                raise ImageClSyntaxError(
+                    f"parameter name {reserved!r} shadows a builtin "
+                    f"coordinate"
+                )
+        if not any(p.direction == "out" for p in images):
+            raise ImageClSyntaxError(
+                f"kernel {name!r} has no output image"
+            )
+
+        self.expect("{")
+        body: List[Stmt] = []
+        while not self.accept("}"):
+            body.append(self._statement())
+        if self.cur.kind != "eof":
+            self._fail("trailing input after kernel body")
+        if not any(isinstance(s, ImageWrite) for s in body):
+            raise ImageClSyntaxError(
+                f"kernel {name!r} never writes an output image"
+            )
+        return KernelDef(
+            name=name,
+            images=tuple(images),
+            scalars=tuple(scalars),
+            body=tuple(body),
+        )
+
+    def _statement(self) -> Stmt:
+        if self.accept("float"):
+            name = self.expect_kind("ident").text
+            if name in self.local_names | self.image_names | self.scalar_names:
+                self._fail(f"redeclaration of {name!r}")
+            self.expect("=")
+            value = self._expr()
+            self.expect(";")
+            self.local_names.add(name)
+            return Declare(name, value)
+
+        name = self.expect_kind("ident").text
+        if self.accept("["):
+            if name not in self.image_names:
+                self._fail(f"{name!r} is not an image")
+            dx_axis, dx = self._index()
+            self.expect(",")
+            dy_axis, dy = self._index()
+            self.expect("]")
+            if dx_axis != "x" or dy_axis != "y":
+                self._fail("image indices must be [x..., y...]")
+            if dx != 0 or dy != 0:
+                self._fail("image writes must target [x, y] exactly")
+            self.expect("=")
+            value = self._expr()
+            self.expect(";")
+            return ImageWrite(name, value)
+
+        if name not in self.local_names:
+            self._fail(f"assignment to undeclared variable {name!r}")
+        self.expect("=")
+        value = self._expr()
+        self.expect(";")
+        return Assign(name, value)
+
+    def _index(self) -> Tuple[str, int]:
+        axis_tok = self.expect_kind("ident")
+        if axis_tok.text not in ("x", "y"):
+            self._fail("image index must start with 'x' or 'y'")
+        offset = 0
+        if self.cur.text in ("+", "-"):
+            sign = 1 if self.cur.text == "+" else -1
+            self.i += 1
+            num = self.expect_kind("number")
+            if "." in num.text:
+                self._fail("image offsets must be integers")
+            offset = sign * int(num.text)
+        return axis_tok.text, offset
+
+    # expression precedence climbing -------------------------------------------
+    def _expr(self) -> Expr:
+        return self._ternary()
+
+    def _ternary(self) -> Expr:
+        cond = self._compare()
+        if self.accept("?"):
+            if_true = self._expr()
+            self.expect(":")
+            if_false = self._expr()
+            return Ternary(cond, if_true, if_false)
+        return cond
+
+    def _compare(self) -> Expr:
+        left = self._additive()
+        if self.cur.text in ("<", ">", "<=", ">=", "==", "!="):
+            op = self.cur.text
+            self.i += 1
+            right = self._additive()
+            return Binary(op, left, right)
+        return left
+
+    def _additive(self) -> Expr:
+        node = self._term()
+        while self.cur.text in ("+", "-"):
+            op = self.cur.text
+            self.i += 1
+            node = Binary(op, node, self._term())
+        return node
+
+    def _term(self) -> Expr:
+        node = self._factor()
+        while self.cur.text in ("*", "/"):
+            op = self.cur.text
+            self.i += 1
+            node = Binary(op, node, self._factor())
+        return node
+
+    def _factor(self) -> Expr:
+        if self.cur.kind == "number":
+            value = float(self.cur.text)
+            self.i += 1
+            return Number(value)
+        if self.accept("-"):
+            return Unary("-", self._factor())
+        if self.accept("("):
+            node = self._expr()
+            self.expect(")")
+            return node
+
+        name = self.expect_kind("ident").text
+        if self.accept("("):
+            if name not in BUILTINS:
+                self._fail(f"unknown function {name!r}")
+            args = [self._expr()]
+            while self.accept(","):
+                args.append(self._expr())
+            self.expect(")")
+            if len(args) != BUILTINS[name]:
+                self._fail(
+                    f"{name}() takes {BUILTINS[name]} argument(s), "
+                    f"got {len(args)}"
+                )
+            return Call(name, tuple(args))
+        if self.accept("["):
+            if name not in self.image_names:
+                self._fail(f"{name!r} is not an image")
+            dx_axis, dx = self._index()
+            self.expect(",")
+            dy_axis, dy = self._index()
+            self.expect("]")
+            if dx_axis != "x" or dy_axis != "y":
+                self._fail("image indices must be [x..., y...]")
+            return ImageRead(name, dx, dy)
+
+        if name in ("x", "y"):
+            return CoordRef(name)
+        if name in self.scalar_names:
+            return ScalarRef(name)
+        if name in self.local_names:
+            return VarRef(name)
+        if name in self.image_names:
+            self._fail(f"image {name!r} used without [x, y] index")
+        self._fail(f"unknown identifier {name!r}")
+        raise AssertionError("unreachable")
+
+
+def parse_kernel(source: str) -> KernelDef:
+    """Parse one mini-ImageCL kernel definition."""
+    return _Parser(_tokenize(source)).parse()

@@ -1,0 +1,40 @@
+"""The ImageCL-style benchmark suite: Add, Harris, Mandelbrot."""
+
+from .add import AddKernel
+from .base import PAPER_IMAGE_SIZE, KernelSpec
+from .convolution import ConvolutionKernel
+from .harris import HarrisKernel, box_filter_3x3, sobel_gradients
+from .mandelbrot import IterationStats, MandelbrotKernel, iteration_statistics
+from .reduction import ReductionKernel
+from .stencil3d import Stencil3DKernel
+from .suite import (
+    EXTENDED_KERNEL_NAMES,
+    KERNEL_TYPES,
+    PAPER_KERNEL_NAMES,
+    extended_suite,
+    get_kernel,
+    paper_suite,
+)
+from .transpose import TransposeKernel
+
+__all__ = [
+    "KernelSpec",
+    "PAPER_IMAGE_SIZE",
+    "AddKernel",
+    "HarrisKernel",
+    "sobel_gradients",
+    "box_filter_3x3",
+    "MandelbrotKernel",
+    "iteration_statistics",
+    "IterationStats",
+    "ConvolutionKernel",
+    "TransposeKernel",
+    "ReductionKernel",
+    "Stencil3DKernel",
+    "KERNEL_TYPES",
+    "PAPER_KERNEL_NAMES",
+    "EXTENDED_KERNEL_NAMES",
+    "get_kernel",
+    "paper_suite",
+    "extended_suite",
+]

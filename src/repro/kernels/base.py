@@ -1,0 +1,86 @@
+"""Kernel abstraction for the ImageCL-style benchmark suite.
+
+The paper's benchmarks are ImageCL kernels: data-parallel image programs
+whose launch configuration (thread coarsening + work-group shape) is
+abstracted into tuning parameters (Section II-B).  A
+:class:`KernelSpec` here carries both halves of that idea:
+
+* the **semantics** — a real NumPy reference computation over image
+  arrays, so the benchmarks are actual programs, not just cost functions
+  (tests validate them against independent implementations); and
+* the **performance characterization** — a calibrated
+  :class:`~repro.gpu.workload.WorkloadProfile` consumed by the GPU
+  performance model, standing in for compiling and running the OpenCL
+  kernel on hardware we do not have.
+
+All paper kernels run at the paper's default problem size
+``X = Y = 8192`` (Section V-D) and share the paper's 6-parameter search
+space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..gpu.workload import WorkloadProfile
+from ..searchspace import SearchSpace, paper_search_space
+
+__all__ = ["KernelSpec", "PAPER_IMAGE_SIZE"]
+
+#: The paper's default problem size (Section V-D).
+PAPER_IMAGE_SIZE = 8192
+
+
+class KernelSpec:
+    """One tunable kernel: semantics + workload characterization.
+
+    Subclasses set :attr:`name` and implement :meth:`make_inputs`,
+    :meth:`reference` and :meth:`profile`.
+    """
+
+    #: Registry/lookup name (e.g. ``"add"``).
+    name: str = ""
+
+    def __init__(
+        self, x_size: int = PAPER_IMAGE_SIZE, y_size: int = PAPER_IMAGE_SIZE
+    ) -> None:
+        if x_size < 1 or y_size < 1:
+            raise ValueError("problem sizes must be positive")
+        self.x_size = int(x_size)
+        self.y_size = int(y_size)
+
+    # -- semantics -----------------------------------------------------------
+    def make_inputs(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        """Generate input arrays for one run (float32 images)."""
+        raise NotImplementedError
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        """The kernel's computation, as plain NumPy.
+
+        This is the ground truth a real ImageCL/OpenCL implementation would
+        be validated against; here it both documents the benchmark and
+        anchors the workload characterization (tests check that e.g. the
+        FLOP count in the profile matches the arithmetic actually done).
+        """
+        raise NotImplementedError
+
+    # -- performance -----------------------------------------------------------
+    def profile(self) -> WorkloadProfile:
+        """The workload profile the GPU simulator consumes."""
+        raise NotImplementedError
+
+    # -- search space -----------------------------------------------------------
+    def space(self, constrained: bool = True) -> SearchSpace:
+        """The kernel's tuning space — the paper's 6-parameter space."""
+        return paper_search_space(constrained=constrained)
+
+    # -- conveniences ------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(rows, cols) = (y_size, x_size) of the output image."""
+        return (self.y_size, self.x_size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.x_size}x{self.y_size})"

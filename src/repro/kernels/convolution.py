@@ -1,0 +1,93 @@
+"""General 2-D convolution benchmark (extension suite).
+
+The canonical image-processing workload the paper's future work points
+toward ("testing a wider range of benchmarks [BAT, LS-CAT]").  A dense
+``K x K`` convolution with an arbitrary filter: a stencil like Harris but
+with tunable arithmetic intensity — ``K = 3`` is memory-leaning,
+``K = 9`` firmly compute-bound — so a single kernel family sweeps across
+the roofline as ``K`` grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..gpu.workload import WorkloadProfile
+from .base import KernelSpec
+
+__all__ = ["ConvolutionKernel"]
+
+
+class ConvolutionKernel(KernelSpec):
+    """Dense ``K x K`` convolution with edge replication.
+
+    Parameters
+    ----------
+    filter_size:
+        Odd kernel width ``K`` (default 5).
+    seed:
+        Seed of the fixed random filter (part of the benchmark identity,
+        not of the per-run inputs).
+    """
+
+    name = "convolution"
+
+    def __init__(
+        self,
+        x_size: int = 8192,
+        y_size: int = 8192,
+        filter_size: int = 5,
+        seed: int = 42,
+    ) -> None:
+        super().__init__(x_size, y_size)
+        if filter_size < 1 or filter_size % 2 == 0:
+            raise ValueError("filter_size must be odd and >= 1")
+        self.filter_size = int(filter_size)
+        rng = np.random.default_rng(seed)
+        weights = rng.standard_normal(
+            (filter_size, filter_size)
+        ).astype(np.float32)
+        self.weights = weights / np.abs(weights).sum()
+
+    @property
+    def radius(self) -> int:
+        return self.filter_size // 2
+
+    def make_inputs(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        return {
+            "image": rng.random((self.y_size, self.x_size), dtype=np.float32)
+        }
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        img = np.asarray(inputs["image"], dtype=np.float32)
+        if img.ndim != 2:
+            raise ValueError(f"convolution expects a 2-D image, got "
+                             f"shape {img.shape}")
+        r = self.radius
+        padded = np.pad(img, r, mode="edge")
+        out = np.zeros_like(img)
+        h, w = img.shape
+        for dy in range(self.filter_size):
+            for dx in range(self.filter_size):
+                out += self.weights[dy, dx] * padded[
+                    dy : dy + h, dx : dx + w
+                ]
+        return out
+
+    def profile(self) -> WorkloadProfile:
+        k2 = self.filter_size**2
+        return WorkloadProfile(
+            name=f"{self.name}{self.filter_size}x{self.filter_size}",
+            x_size=self.x_size,
+            y_size=self.y_size,
+            reads_per_element=1.0,  # unique footprint; stencil model
+            writes_per_element=1.0,
+            stencil_radius=self.radius,
+            flops_per_element=2.0 * k2,  # one FMA per tap
+            # Filter weights live in constant memory; accumulator plus
+            # address arithmetic dominates registers.
+            base_registers=24.0 + 0.5 * self.filter_size,
+            registers_per_element=4.0,
+        )

@@ -1,0 +1,156 @@
+"""The Mandelbrot benchmark: escape-time rendering of the Mandelbrot set.
+
+"The final benchmark is the construction of an image of size X by Y with
+intensity values according to the Mandelbrot set" (Section V-D).  Each
+pixel iterates ``z <- z^2 + c`` until ``|z| > 2`` or ``max_iter`` is
+reached; the intensity is the iteration count.
+
+Performance-wise this is the suite's *compute-bound, divergent* kernel:
+there is no input traffic at all (one write per pixel), but the iteration
+count varies by two orders of magnitude across the image, so warps pay for
+their slowest lane.  The tuning landscape consequently favours *narrow*
+warp footprints (small x-extent per warp) — nearly the opposite of what
+the memory-bound Add prefers — which is exactly the cross-benchmark
+tension that makes the paper's comparison interesting.
+
+The divergence statistics in the workload profile (coefficient of
+variation, spatial correlation length) are calibrated from the actual
+escape-time field; :func:`iteration_statistics` recomputes them from the
+reference implementation, and the test suite checks the calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..gpu.workload import WorkloadProfile
+from .base import KernelSpec
+
+__all__ = ["MandelbrotKernel", "iteration_statistics", "IterationStats"]
+
+#: Viewport of the classic full-set rendering.
+DEFAULT_VIEW = (-2.5, 1.0, -1.75, 1.75)  # (x_min, x_max, y_min, y_max)
+DEFAULT_MAX_ITER = 256
+
+#: FLOPs per escape-time iteration: complex square (2 mul, 1 add for the
+#: real part; 2 mul for the imaginary) + c add (2) + magnitude check
+#: (2 mul, 1 add) ~= 10.
+FLOPS_PER_ITERATION = 10.0
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Summary statistics of the per-pixel iteration-count field."""
+
+    mean: float
+    std: float
+    cv: float
+    #: Estimated spatial correlation length in pixels (distance at which
+    #: the autocorrelation of the iteration field drops below 1/e).
+    correlation_length: float
+
+
+class MandelbrotKernel(KernelSpec):
+    """Escape-time Mandelbrot rendering over a Y x X pixel grid."""
+
+    name = "mandelbrot"
+
+    def __init__(
+        self,
+        x_size: int = 8192,
+        y_size: int = 8192,
+        max_iter: int = DEFAULT_MAX_ITER,
+        view: tuple = DEFAULT_VIEW,
+    ) -> None:
+        super().__init__(x_size, y_size)
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.max_iter = int(max_iter)
+        self.view = tuple(view)
+
+    def make_inputs(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        # Mandelbrot has no input arrays; the 'input' is the viewport.
+        return {}
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        return self.iteration_counts(self.x_size, self.y_size)
+
+    def iteration_counts(self, nx: int, ny: int) -> np.ndarray:
+        """Escape-time counts on an ``ny x nx`` grid over the viewport.
+
+        Vectorized over all pixels with an active mask, so only
+        not-yet-escaped points keep iterating (the NumPy equivalent of the
+        GPU kernel's per-lane early exit).
+        """
+        x_min, x_max, y_min, y_max = self.view
+        xs = np.linspace(x_min, x_max, nx, dtype=np.float64)
+        ys = np.linspace(y_min, y_max, ny, dtype=np.float64)
+        c = xs[None, :] + 1j * ys[:, None]
+        z = np.zeros_like(c)
+        counts = np.full(c.shape, self.max_iter, dtype=np.int32)
+        active = np.ones(c.shape, dtype=bool)
+        for it in range(self.max_iter):
+            z[active] = z[active] ** 2 + c[active]
+            escaped = active & (z.real**2 + z.imag**2 > 4.0)
+            counts[escaped] = it
+            active &= ~escaped
+            if not active.any():
+                break
+        return counts
+
+    def profile(self) -> WorkloadProfile:
+        # Calibrated against iteration_statistics() on a 256x256 rendering
+        # of the default viewport (validated by
+        # tests/kernels/test_mandelbrot.py): mean ~ 34 iterations,
+        # cv ~ 2.45.  The *global* autocorrelation length is large (~960
+        # full-resolution pixels — big smooth interior/exterior regions
+        # dominate it), but divergence is caused by warps straddling the
+        # fractal boundary, where the field varies at every scale; the
+        # model's correlation length is therefore set to a boundary-local
+        # scale rather than the global statistic.
+        mean_iters = 34.0
+        return WorkloadProfile(
+            name=self.name,
+            x_size=self.x_size,
+            y_size=self.y_size,
+            reads_per_element=0.0,
+            writes_per_element=1.0,
+            stencil_radius=0,
+            flops_per_element=FLOPS_PER_ITERATION * mean_iters,
+            sfu_per_element=0.0,
+            divergence_cv=2.4,
+            divergence_corr_length=36.0,
+            base_registers=24.0,
+            registers_per_element=4.0,
+        )
+
+
+def iteration_statistics(
+    kernel: MandelbrotKernel, resolution: int = 512
+) -> IterationStats:
+    """Empirical divergence statistics of the escape-time field.
+
+    Renders the kernel's viewport at a reduced ``resolution`` and measures
+    the statistics that parameterize the simulator's divergence model.
+    Used to calibrate (and in tests, validate) the workload profile.
+    """
+    counts = kernel.iteration_counts(resolution, resolution).astype(np.float64)
+    mean = float(counts.mean())
+    std = float(counts.std())
+    cv = std / mean if mean > 0 else 0.0
+
+    # Autocorrelation along x, averaged over rows, first crossing of 1/e.
+    centered = counts - counts.mean(axis=1, keepdims=True)
+    denom = (centered**2).sum(axis=1).mean()
+    corr_len = float(resolution)
+    for lag in range(1, resolution // 2):
+        num = (centered[:, :-lag] * centered[:, lag:]).sum(axis=1).mean()
+        if num / denom < np.exp(-1.0):
+            corr_len = float(lag)
+            break
+    # Scale to the kernel's full resolution.
+    corr_len *= kernel.x_size / resolution
+    return IterationStats(mean=mean, std=std, cv=cv, correlation_length=corr_len)

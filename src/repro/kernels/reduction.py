@@ -1,0 +1,53 @@
+"""Parallel sum-reduction benchmark (extension suite).
+
+The classic two-stage tree reduction: each work-group accumulates its
+tile in shared memory, then a second tiny pass combines the per-block
+partial sums.  Performance-wise this is a streaming read with *shared
+memory as an occupancy limiter* — each thread owns an accumulator slot,
+so big work-groups eat into the per-SM shared-memory budget, a tuning
+pressure the paper's three kernels do not exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..gpu.workload import WorkloadProfile
+from .base import KernelSpec
+
+__all__ = ["ReductionKernel"]
+
+
+class ReductionKernel(KernelSpec):
+    """Sum of all elements of a Y x X array."""
+
+    name = "reduction"
+
+    def make_inputs(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        return {
+            "data": rng.random((self.y_size, self.x_size), dtype=np.float32)
+        }
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        data = np.asarray(inputs["data"], dtype=np.float32)
+        # float64 accumulation: the tree reduction a GPU performs is far
+        # more accurate than a naive float32 left-to-right sum, and the
+        # reference should match the *better* of the two.
+        return np.array([data.sum(dtype=np.float64)], dtype=np.float32)
+
+    def profile(self) -> WorkloadProfile:
+        return WorkloadProfile(
+            name=self.name,
+            x_size=self.x_size,
+            y_size=self.y_size,
+            reads_per_element=1.0,
+            writes_per_element=0.0,  # one partial sum per block: ~nothing
+            flops_per_element=1.0,   # one add per element
+            stencil_radius=0,
+            base_registers=16.0,
+            registers_per_element=1.0,
+            # One float accumulator slot per thread in local memory.
+            shared_bytes_per_thread=4.0,
+        )

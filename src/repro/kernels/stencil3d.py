@@ -1,0 +1,75 @@
+"""3-D heat-diffusion stencil benchmark (extension suite).
+
+A 7-point Jacobi step on a 3-D grid — the workload that makes the
+paper's *z parameters* meaningful.  On the paper's 2-D images the
+``thread_z``/``wg_z`` axes are nearly dead (a boundary guard kills the
+extra threads); on a deep grid they participate fully: z-coarsening
+amortizes halo loads, the work-group's z-extent changes the tile's
+surface-to-volume ratio, and the search space's *effective*
+dimensionality jumps from ~4 to 6.  Comparing the algorithms here vs on
+the 2-D suite shows how search difficulty scales with real
+dimensionality (the paper's Section VIII asks exactly this kind of
+question about wider benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..gpu.workload import WorkloadProfile
+from .base import KernelSpec
+
+__all__ = ["Stencil3DKernel"]
+
+
+class Stencil3DKernel(KernelSpec):
+    """One 7-point Jacobi relaxation sweep over an X x Y x Z grid."""
+
+    name = "stencil3d"
+
+    def __init__(
+        self, x_size: int = 512, y_size: int = 512, z_size: int = 512
+    ) -> None:
+        super().__init__(x_size, y_size)
+        if z_size < 1:
+            raise ValueError("z_size must be positive")
+        self.z_size = int(z_size)
+
+    def make_inputs(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        return {
+            "grid": rng.random(
+                (self.z_size, self.y_size, self.x_size), dtype=np.float32
+            )
+        }
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        g = np.asarray(inputs["grid"], dtype=np.float32)
+        if g.ndim != 3:
+            raise ValueError(f"stencil3d expects a 3-D grid, got "
+                             f"shape {g.shape}")
+        p = np.pad(g, 1, mode="edge")
+        # out = (center + 6 neighbours) / 7
+        out = (
+            p[1:-1, 1:-1, 1:-1]
+            + p[:-2, 1:-1, 1:-1] + p[2:, 1:-1, 1:-1]
+            + p[1:-1, :-2, 1:-1] + p[1:-1, 2:, 1:-1]
+            + p[1:-1, 1:-1, :-2] + p[1:-1, 1:-1, 2:]
+        ) * np.float32(1.0 / 7.0)
+        return out
+
+    def profile(self) -> WorkloadProfile:
+        return WorkloadProfile(
+            name=self.name,
+            x_size=self.x_size,
+            y_size=self.y_size,
+            z_size=self.z_size,
+            reads_per_element=1.0,  # unique footprint; 3-D stencil model
+            writes_per_element=1.0,
+            stencil_radius=1,
+            flops_per_element=8.0,  # 6 adds + 1 add + 1 mul
+            divergence_cv=0.0,
+            base_registers=30.0,
+            registers_per_element=5.0,
+        )

@@ -1,0 +1,54 @@
+"""Matrix transpose benchmark (extension suite).
+
+The classic coalescing stress test: reads are perfectly coalescible, but
+naive writes land column-major — consecutive lanes store a full row
+length apart.  Its tuning landscape is dominated by the memory system
+and separates the simulated architectures sharply (Maxwell's
+write-through pattern suffers far more than Volta/Turing's caches),
+making it a good probe of the cross-architecture effects the paper
+studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..gpu.workload import WorkloadProfile
+from .base import KernelSpec
+
+__all__ = ["TransposeKernel"]
+
+
+class TransposeKernel(KernelSpec):
+    """``out[x, y] = in[y, x]`` over a Y x X image."""
+
+    name = "transpose"
+
+    def make_inputs(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        return {
+            "matrix": rng.random((self.y_size, self.x_size),
+                                 dtype=np.float32)
+        }
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        m = np.asarray(inputs["matrix"], dtype=np.float32)
+        if m.ndim != 2:
+            raise ValueError(f"transpose expects a 2-D matrix, got "
+                             f"shape {m.shape}")
+        return np.ascontiguousarray(m.T)
+
+    def profile(self) -> WorkloadProfile:
+        return WorkloadProfile(
+            name=self.name,
+            x_size=self.x_size,
+            y_size=self.y_size,
+            reads_per_element=1.0,
+            writes_per_element=1.0,
+            writes_transposed=True,
+            flops_per_element=0.5,  # pure data movement
+            stencil_radius=0,
+            base_registers=14.0,
+            registers_per_element=2.0,
+        )

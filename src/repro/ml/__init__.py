@@ -1,0 +1,25 @@
+"""From-scratch ML substrate: CART/forest, Gaussian process, Parzen/TPE.
+
+These replace the paper's library dependencies (sk-learn's random forest,
+scikit-optimize's GP, HyperOpt's TPE estimator), which are unavailable in
+this offline environment — see DESIGN.md section 1.
+"""
+
+from .forest import RandomForestRegressor
+from .gp import RBF, GaussianProcessRegressor, Matern52
+from .kde import AdaptiveParzenEstimator1D
+from .scaling import StandardScaler, log_runtime, penalize_failures, unlog_runtime
+from .tree import DecisionTreeRegressor
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "GaussianProcessRegressor",
+    "Matern52",
+    "RBF",
+    "AdaptiveParzenEstimator1D",
+    "StandardScaler",
+    "log_runtime",
+    "unlog_runtime",
+    "penalize_failures",
+]

@@ -1,0 +1,248 @@
+"""Gaussian-process regression, from scratch.
+
+The substrate behind the paper's BO GP tuner (scikit-optimize's
+``gp_minimize`` in the original, Section VI-B).  A standard exact GP:
+
+* Matern-5/2 (the ``gp_minimize`` default) or RBF covariance with ARD
+  lengthscales, signal variance and an optimized noise term,
+* hyperparameters fit by maximizing the log marginal likelihood with
+  L-BFGS-B restarts,
+* Cholesky-based posterior mean/std prediction.
+
+Runtimes are heavy-tailed, so callers should model ``log(runtime)`` (the
+tuners in :mod:`repro.search.bo_gp` do); ``normalize_y`` handles the
+remaining location/scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+from scipy.optimize import minimize
+
+__all__ = ["Matern52", "RBF", "GaussianProcessRegressor"]
+
+
+def _sq_dists(X1: np.ndarray, X2: np.ndarray, lengthscales: np.ndarray) -> np.ndarray:
+    """Pairwise squared distances after per-dimension scaling."""
+    A = X1 / lengthscales
+    B = X2 / lengthscales
+    aa = (A * A).sum(axis=1)[:, None]
+    bb = (B * B).sum(axis=1)[None, :]
+    sq = aa + bb - 2.0 * (A @ B.T)
+    return np.maximum(sq, 0.0)
+
+
+class RBF:
+    """Squared-exponential correlation: ``exp(-r^2 / 2)``."""
+
+    name = "rbf"
+
+    @staticmethod
+    def correlation(sq_dists: np.ndarray) -> np.ndarray:
+        return np.exp(-0.5 * sq_dists)
+
+
+class Matern52:
+    """Matern nu=5/2 correlation (``gp_minimize``'s default)."""
+
+    name = "matern52"
+
+    @staticmethod
+    def correlation(sq_dists: np.ndarray) -> np.ndarray:
+        r = np.sqrt(5.0 * sq_dists)
+        return (1.0 + r + r * r / 3.0) * np.exp(-r)
+
+
+_KERNELS = {"rbf": RBF, "matern52": Matern52}
+
+
+class GaussianProcessRegressor:
+    """Exact GP regression with marginal-likelihood hyperparameter fitting.
+
+    Parameters
+    ----------
+    kernel:
+        ``"matern52"`` (default, matching ``gp_minimize``) or ``"rbf"``.
+    alpha:
+        Jitter added to the diagonal for numerical stability (on top of
+        the *learned* noise variance).
+    normalize_y:
+        Standardize targets before fitting (restored at prediction).
+    n_restarts:
+        Extra random restarts of the hyperparameter optimization.
+    rng:
+        Generator for restart initialization.
+    """
+
+    def __init__(
+        self,
+        kernel: str = "matern52",
+        alpha: float = 1e-8,
+        normalize_y: bool = True,
+        n_restarts: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        try:
+            self._corr = _KERNELS[kernel]
+        except KeyError:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; available: {sorted(_KERNELS)}"
+            ) from None
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.kernel_name = kernel
+        self.alpha = alpha
+        self.normalize_y = normalize_y
+        self.n_restarts = n_restarts
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._fitted = False
+
+    # -- internals ------------------------------------------------------------
+    def _unpack(self, theta: np.ndarray) -> Tuple[float, np.ndarray, float]:
+        """theta = [log signal_var, log noise_var, log lengthscales...]."""
+        signal = np.exp(theta[0])
+        noise = np.exp(theta[1])
+        ls = np.exp(theta[2:])
+        return signal, ls, noise
+
+    def _kmatrix(self, theta: np.ndarray, X: np.ndarray) -> np.ndarray:
+        signal, ls, noise = self._unpack(theta)
+        K = signal * self._corr.correlation(_sq_dists(X, X, ls))
+        K[np.diag_indices_from(K)] += noise + self.alpha
+        return K
+
+    def _nlml(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+        K = self._kmatrix(theta, X)
+        try:
+            cf = cho_factor(K, lower=True, check_finite=False)
+        except np.linalg.LinAlgError:
+            return 1e25
+        alpha_vec = cho_solve(cf, y, check_finite=False)
+        logdet = 2.0 * np.log(np.diag(cf[0])).sum()
+        n = y.size
+        val = 0.5 * float(y @ alpha_vec) + 0.5 * logdet + 0.5 * n * np.log(2 * np.pi)
+        return val if np.isfinite(val) else 1e25
+
+    # -- API ----------------------------------------------------------------
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, optimize: bool = True
+    ) -> "GaussianProcessRegressor":
+        """Fit the GP.
+
+        With ``optimize=False`` and a previous fit available, the stored
+        hyperparameters are reused and only the Cholesky factorization is
+        redone — the cheap incremental path a sequential optimizer uses
+        between periodic hyperparameter refits.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y.shape != (X.shape[0],):
+            raise ValueError(f"y shape {y.shape} does not match X {X.shape}")
+        if X.shape[0] < 2:
+            raise ValueError("GP needs at least 2 observations")
+        if not (np.all(np.isfinite(X)) and np.all(np.isfinite(y))):
+            raise ValueError("GP inputs must be finite; penalize failed "
+                             "measurements before fitting")
+
+        self._y_mean = float(y.mean()) if self.normalize_y else 0.0
+        self._y_std = float(y.std()) if self.normalize_y else 1.0
+        if self._y_std == 0.0:
+            self._y_std = 1.0
+        yn = (y - self._y_mean) / self._y_std
+
+        d = X.shape[1]
+        spans = np.maximum(X.max(axis=0) - X.min(axis=0), 1e-3)
+        # Initial guess: unit signal, small noise, lengthscale = half-span.
+        theta0 = np.concatenate(
+            [[0.0, np.log(1e-2)], np.log(0.5 * spans)]
+        )
+        lo = np.concatenate([[-4.0, np.log(1e-6)], np.log(1e-2 * spans)])
+        hi = np.concatenate([[4.0, np.log(1.0)], np.log(1e2 * spans)])
+        bounds = list(zip(lo, hi))
+
+        if not optimize and self._fitted:
+            best_theta = self._theta
+        else:
+            best_theta, best_val = theta0, self._nlml(theta0, X, yn)
+            if self._fitted:
+                # Warm refit: continue from the previous optimum only —
+                # the landscape changed a little, not wholesale.
+                starts = [np.clip(self._theta, lo, hi)]
+            else:
+                starts = [theta0] + [
+                    self.rng.uniform(lo, hi) for _ in range(self.n_restarts)
+                ]
+            for start in starts:
+                res = minimize(
+                    self._nlml,
+                    start,
+                    args=(X, yn),
+                    method="L-BFGS-B",
+                    bounds=bounds,
+                    options={"maxiter": 50},
+                )
+                if res.fun < best_val and np.all(np.isfinite(res.x)):
+                    best_theta, best_val = res.x, res.fun
+
+        self._theta = best_theta
+        self._X = X
+        K = self._kmatrix(best_theta, X)
+        self._chol = cho_factor(K, lower=True, check_finite=False)
+        self._alpha_vec = cho_solve(self._chol, yn, check_finite=False)
+        self._fitted = True
+        return self
+
+    @property
+    def hyperparameters(self) -> dict:
+        """Fitted kernel hyperparameters (natural scale)."""
+        if not self._fitted:
+            raise RuntimeError("GP is not fitted; call fit() first")
+        signal, ls, noise = self._unpack(self._theta)
+        return {
+            "signal_variance": float(signal),
+            "noise_variance": float(noise),
+            "lengthscales": ls.copy(),
+        }
+
+    def predict(
+        self, X: np.ndarray, return_std: bool = False
+    ):
+        """Posterior mean (and optionally standard deviation)."""
+        if not self._fitted:
+            raise RuntimeError("GP is not fitted; call fit() first")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self._X.shape[1]:
+            raise ValueError(
+                f"X must be (n, {self._X.shape[1]}), got shape {X.shape}"
+            )
+        signal, ls, noise = self._unpack(self._theta)
+        Ks = signal * self._corr.correlation(_sq_dists(X, self._X, ls))
+        mean_n = Ks @ self._alpha_vec
+        mean = mean_n * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+        v = cho_solve(self._chol, Ks.T, check_finite=False)
+        var_n = signal - np.einsum("ij,ji->i", Ks, v)
+        var_n = np.maximum(var_n, 1e-12)
+        std = np.sqrt(var_n) * self._y_std
+        return mean, std
+
+    def log_marginal_likelihood(self) -> float:
+        """LML of the fitted model (normalized-target scale)."""
+        if not self._fitted:
+            raise RuntimeError("GP is not fitted; call fit() first")
+        logdet = 2.0 * np.log(np.diag(self._chol[0])).sum()
+        n = self._X.shape[0]
+        # Reconstruct the normalized targets from K @ alpha.
+        K = self._kmatrix(self._theta, self._X)
+        yn = K @ self._alpha_vec
+        return -(
+            0.5 * float(yn @ self._alpha_vec)
+            + 0.5 * logdet
+            + 0.5 * n * np.log(2 * np.pi)
+        )

@@ -1,0 +1,78 @@
+"""Feature/target transforms shared by the model-based tuners.
+
+Measured runtimes are strictly positive and heavy-tailed (bad
+configurations are orders of magnitude slower than good ones), so
+surrogate models fit ``log(runtime)``; features are standardized so GP
+lengthscale priors are comparable across dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "log_runtime", "unlog_runtime", "penalize_failures"]
+
+
+class StandardScaler:
+    """Column-wise standardization with degenerate-column protection."""
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("scaler is not fitted; call fit() first")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("scaler is not fitted; call fit() first")
+        return np.asarray(X, dtype=np.float64) * self.scale_ + self.mean_
+
+
+def penalize_failures(
+    runtimes_ms: np.ndarray, penalty_factor: float = 10.0
+) -> np.ndarray:
+    """Replace infinite runtimes (launch failures) with a finite penalty.
+
+    Surrogate models need finite targets; real tuning frameworks do the
+    same (Kernel Tuner's ``InvalidConfig`` value).  The penalty is
+    ``penalty_factor`` times the worst *valid* measurement, or 1e6 ms when
+    every measurement failed.
+    """
+    runtimes_ms = np.asarray(runtimes_ms, dtype=np.float64)
+    finite = np.isfinite(runtimes_ms)
+    if finite.all():
+        return runtimes_ms.copy()
+    if finite.any():
+        penalty = penalty_factor * runtimes_ms[finite].max()
+    else:
+        penalty = 1e6
+    return np.where(finite, runtimes_ms, penalty)
+
+
+def log_runtime(runtimes_ms: np.ndarray) -> np.ndarray:
+    """``log`` transform for strictly positive, finite runtimes."""
+    runtimes_ms = np.asarray(runtimes_ms, dtype=np.float64)
+    if np.any(~np.isfinite(runtimes_ms)):
+        raise ValueError(
+            "non-finite runtimes; apply penalize_failures() first"
+        )
+    if np.any(runtimes_ms <= 0):
+        raise ValueError("runtimes must be strictly positive")
+    return np.log(runtimes_ms)
+
+
+def unlog_runtime(log_runtimes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`log_runtime`."""
+    return np.exp(np.asarray(log_runtimes, dtype=np.float64))

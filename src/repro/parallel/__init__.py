@@ -1,0 +1,12 @@
+"""Reproducible RNG streams and process-parallel experiment execution."""
+
+from .pool import ParallelMap, TaskError, default_worker_count
+from .rng import RngFactory, hash_key_to_entropy
+
+__all__ = [
+    "RngFactory",
+    "hash_key_to_entropy",
+    "ParallelMap",
+    "TaskError",
+    "default_worker_count",
+]

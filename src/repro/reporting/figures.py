@@ -1,0 +1,184 @@
+"""Generators for every figure in the paper's evaluation section.
+
+Each function maps a :class:`~repro.experiments.results.StudyResults` to
+the corresponding paper artifact:
+
+* :func:`figure2` — heatmaps of the median percentage-of-optimum per
+  algorithm x sample size, one panel per (benchmark, architecture),
+* :func:`figure3` — the aggregate mean +/- CI line plot across all panels,
+* :func:`figure4a` — heatmaps of median speedup over Random Search,
+* :func:`figure4b` — heatmaps of CLES over Random Search.
+
+All generators return the structured objects (plus text/CSV renderers), so
+benches print the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..experiments.results import StudyResults
+from ..search import TUNER_FACTORIES
+from ..stats import bootstrap_ci
+from .heatmap import Heatmap
+from .lineplot import LinePlot, Series
+
+__all__ = [
+    "algorithm_label",
+    "figure2",
+    "figure3",
+    "figure4a",
+    "figure4b",
+    "FigureGrid",
+]
+
+
+def algorithm_label(name: str) -> str:
+    """Figure label of an algorithm (``"bo_gp"`` -> ``"BO GP"``)."""
+    factory = TUNER_FACTORIES.get(name)
+    return factory.label if factory is not None else name
+
+
+@dataclass(frozen=True)
+class FigureGrid:
+    """A paper figure made of one heatmap panel per (kernel, arch)."""
+
+    name: str
+    panels: Dict[Tuple[str, str], Heatmap]
+
+    def to_csv(self) -> str:
+        chunks = []
+        for (kernel, arch), panel in self.panels.items():
+            chunks.append(f"# {self.name} {kernel}/{arch}")
+            chunks.append(panel.to_csv().rstrip())
+        return "\n".join(chunks) + "\n"
+
+
+def _grid(
+    results: StudyResults,
+    name: str,
+    title_fmt: str,
+    cell_value,
+    algorithms: List[str],
+) -> FigureGrid:
+    sizes = results.sample_sizes
+    panels: Dict[Tuple[str, str], Heatmap] = {}
+    for kernel in results.kernels:
+        for arch in results.archs:
+            values = np.array(
+                [
+                    [cell_value(alg, kernel, arch, s) for s in sizes]
+                    for alg in algorithms
+                ]
+            )
+            panels[(kernel, arch)] = Heatmap(
+                title=title_fmt.format(kernel=kernel, arch=arch),
+                row_labels=[algorithm_label(a) for a in algorithms],
+                col_labels=[str(s) for s in sizes],
+                values=values,
+            )
+    return FigureGrid(name=name, panels=panels)
+
+
+def figure2(results: StudyResults) -> FigureGrid:
+    """Fig. 2: median % of optimum per algorithm and sample size."""
+    return _grid(
+        results,
+        name="figure2_percent_of_optimum",
+        title_fmt="Fig.2 {kernel} on {arch}: median % of optimum",
+        cell_value=results.median_percent_of_optimum,
+        algorithms=results.algorithms,
+    )
+
+
+def figure3(
+    results: StudyResults, confidence: float = 0.95, seed: int = 0
+) -> LinePlot:
+    """Fig. 3: mean +/- CI of the median %-of-optimum across all panels.
+
+    As in the paper, each (benchmark, architecture) heatmap cell
+    contributes its median value; the plot shows the mean of those values
+    per algorithm and sample size, with a bootstrap CI across panels.
+    """
+    sizes = results.sample_sizes
+    series: List[Series] = []
+    rng = np.random.default_rng(seed)
+    for alg in results.algorithms:
+        means, lows, highs = [], [], []
+        for s in sizes:
+            cell_medians = np.array(
+                [
+                    results.median_percent_of_optimum(alg, k, a, s)
+                    for k in results.kernels
+                    for a in results.archs
+                ]
+            )
+            if cell_medians.size > 1:
+                ci = bootstrap_ci(
+                    cell_medians, np.mean, confidence=confidence, rng=rng
+                )
+                means.append(ci.estimate)
+                lows.append(ci.low)
+                highs.append(ci.high)
+            else:
+                means.append(float(cell_medians.mean()))
+                lows.append(means[-1])
+                highs.append(means[-1])
+        series.append(
+            Series(
+                label=algorithm_label(alg),
+                x=list(sizes),
+                y=means,
+                y_low=lows,
+                y_high=highs,
+            )
+        )
+    return LinePlot(
+        title="Fig.3 mean % of optimum across all benchmarks/architectures",
+        series=series,
+        x_label="sample size",
+        y_label="% of optimum",
+    )
+
+
+def _non_baseline(results: StudyResults, baseline: str) -> List[str]:
+    algs = [a for a in results.algorithms if a != baseline]
+    if len(algs) == len(results.algorithms):
+        raise ValueError(
+            f"baseline {baseline!r} not among study algorithms "
+            f"{results.algorithms}"
+        )
+    return algs
+
+
+def figure4a(
+    results: StudyResults, baseline: str = "random_search"
+) -> FigureGrid:
+    """Fig. 4a: median speedup of each algorithm over Random Search."""
+    return _grid(
+        results,
+        name="figure4a_speedup_over_rs",
+        title_fmt="Fig.4a {kernel} on {arch}: median speedup over RS",
+        cell_value=lambda alg, k, a, s: results.speedup_over(
+            alg, baseline, k, a, s
+        ),
+        algorithms=_non_baseline(results, baseline),
+    )
+
+
+def figure4b(
+    results: StudyResults, baseline: str = "random_search"
+) -> FigureGrid:
+    """Fig. 4b: CLES (probability of beating RS) per algorithm."""
+    return _grid(
+        results,
+        name="figure4b_cles_over_rs",
+        title_fmt="Fig.4b {kernel} on {arch}: CLES over RS",
+        cell_value=lambda alg, k, a, s: results.cles_over(
+            alg, baseline, k, a, s
+        ),
+        algorithms=_non_baseline(results, baseline),
+    )

@@ -1,0 +1,101 @@
+"""Text heatmap rendering.
+
+The paper's Figs. 2 and 4 are heatmap grids (algorithm x sample size, one
+panel per benchmark/architecture).  In this offline reproduction the
+figures render as aligned text tables with an optional unicode shade ramp,
+plus CSV export so the data can be re-plotted anywhere.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Heatmap", "render_heatmap"]
+
+_SHADES = " ░▒▓█"
+
+
+@dataclass(frozen=True)
+class Heatmap:
+    """A labelled 2-D value grid."""
+
+    title: str
+    row_labels: Sequence[str]
+    col_labels: Sequence[str]
+    values: np.ndarray  # (rows, cols)
+
+    def __post_init__(self) -> None:
+        vals = np.asarray(self.values)
+        if vals.shape != (len(self.row_labels), len(self.col_labels)):
+            raise ValueError(
+                f"values shape {vals.shape} does not match labels "
+                f"({len(self.row_labels)}, {len(self.col_labels)})"
+            )
+
+    def to_csv(self) -> str:
+        """CSV with a header row; first column holds row labels."""
+        out = io.StringIO()
+        out.write("," + ",".join(str(c) for c in self.col_labels) + "\n")
+        for label, row in zip(self.row_labels, np.asarray(self.values)):
+            out.write(
+                str(label)
+                + ","
+                + ",".join(f"{v:.6g}" for v in row)
+                + "\n"
+            )
+        return out.getvalue()
+
+
+def render_heatmap(
+    heatmap: Heatmap,
+    fmt: str = "{:7.1f}",
+    shade: bool = True,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+) -> str:
+    """Render a heatmap as an aligned text block.
+
+    Each cell shows the formatted value, optionally preceded by a unicode
+    shade glyph scaled between ``vmin``/``vmax`` (defaults: data range).
+    """
+    values = np.asarray(heatmap.values, dtype=np.float64)
+    finite = values[np.isfinite(values)]
+    lo = (float(finite.min()) if finite.size else 0.0) if vmin is None else vmin
+    hi = (float(finite.max()) if finite.size else 1.0) if vmax is None else vmax
+    span = hi - lo if hi > lo else 1.0
+
+    def cell(v: float) -> str:
+        body = fmt.format(v)
+        if not shade or not np.isfinite(v):
+            return body
+        level = int(np.clip((v - lo) / span * (len(_SHADES) - 1), 0,
+                            len(_SHADES) - 1))
+        return _SHADES[level] + body
+
+    label_w = max((len(str(r)) for r in heatmap.row_labels), default=0)
+    col_cells: List[List[str]] = [
+        [cell(v) for v in row] for row in values
+    ]
+    col_w = [
+        max(
+            len(str(heatmap.col_labels[j])),
+            max(len(col_cells[i][j]) for i in range(values.shape[0])),
+        )
+        for j in range(values.shape[1])
+    ]
+
+    lines = [heatmap.title]
+    header = " " * label_w + " | " + "  ".join(
+        str(c).rjust(w) for c, w in zip(heatmap.col_labels, col_w)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, label in enumerate(heatmap.row_labels):
+        row = "  ".join(col_cells[i][j].rjust(col_w[j])
+                        for j in range(values.shape[1]))
+        lines.append(f"{str(label).ljust(label_w)} | {row}")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""The five autotuning search techniques the paper compares.
+
+RS and RF are *non-SMBO* (dataset-slice) methods; GA, BO GP and BO TPE
+measure live (the paper's SMBO group, Section V-C).
+"""
+
+from .base import (
+    BudgetExhausted,
+    DatasetTuner,
+    Objective,
+    SequentialTuner,
+    Tuner,
+    TuningResult,
+)
+from .annealing import SimulatedAnnealingTuner
+from .bo_gp import BayesianGpTuner, expected_improvement
+from .bo_tpe import BayesianTpeTuner
+from .genetic import GeneticAlgorithmTuner
+from .multifidelity import BohbTuner, HyperbandTuner, MultiFidelityObjective
+from .pso import ParticleSwarmTuner
+from .random_forest import RandomForestTuner
+from .random_search import RandomSearchTuner
+from .registry import (
+    EXTENSION_ALGORITHM_NAMES,
+    PAPER_ALGORITHM_NAMES,
+    TUNER_FACTORIES,
+    make_tuner,
+    paper_tuners,
+)
+
+__all__ = [
+    "SimulatedAnnealingTuner",
+    "ParticleSwarmTuner",
+    "MultiFidelityObjective",
+    "HyperbandTuner",
+    "BohbTuner",
+    "EXTENSION_ALGORITHM_NAMES",
+    "Objective",
+    "BudgetExhausted",
+    "Tuner",
+    "SequentialTuner",
+    "DatasetTuner",
+    "TuningResult",
+    "RandomSearchTuner",
+    "RandomForestTuner",
+    "GeneticAlgorithmTuner",
+    "BayesianGpTuner",
+    "BayesianTpeTuner",
+    "expected_improvement",
+    "TUNER_FACTORIES",
+    "PAPER_ALGORITHM_NAMES",
+    "make_tuner",
+    "paper_tuners",
+]

@@ -1,0 +1,164 @@
+"""Simulated Annealing tuner (extension).
+
+Not part of the paper's five-way comparison, but the metaheuristic its
+related work repeatedly meets: CLTune (Nugteren & Codreanu 2015) found SA
+competitive with PSO, and Kernel Tuner ships the same strategy the
+implementation here mirrors — a single random walker over the
+neighbourhood graph of the discrete space with Metropolis acceptance and
+a geometric temperature schedule sized to the sample budget.
+
+Included so the library covers the full algorithm set discussed in
+Sections IV-D/VIII, and benchmarked against the paper's five in
+``benchmarks/test_ext_metaheuristics.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .base import BudgetExhausted, Objective, SequentialTuner, TuningResult
+
+__all__ = ["SimulatedAnnealingTuner"]
+
+
+class SimulatedAnnealingTuner(SequentialTuner):
+    """Metropolis random walk with geometric cooling.
+
+    Parameters
+    ----------
+    t_start, t_end:
+        Temperatures relative to the *observed spread* of log-runtimes
+        (the acceptance test uses log-runtime differences, so the
+        schedule is scale-free).
+    neighbour_hop:
+        Probability that a mutated parameter jumps uniformly instead of
+        stepping to an adjacent value (escape hatch out of plateaus).
+    restart_after:
+        Consecutive rejected moves before the walker restarts at a fresh
+        random configuration.
+    init_fraction:
+        Fraction of the budget spent on uniform random samples before the
+        walk starts (the walker starts from the best of them) — standard
+        practice that keeps SA from spending its whole budget escaping a
+        bad corner.
+    respect_constraints:
+        Restrict random (re)starts to feasible configurations.
+    """
+
+    name = "simulated_annealing"
+    label = "SA"
+
+    def __init__(
+        self,
+        t_start: float = 1.0,
+        t_end: float = 0.01,
+        neighbour_hop: float = 0.1,
+        restart_after: int = 30,
+        init_fraction: float = 0.1,
+        respect_constraints: bool = True,
+    ) -> None:
+        if t_start <= 0 or t_end <= 0 or t_end > t_start:
+            raise ValueError("need t_start >= t_end > 0")
+        if not 0.0 <= neighbour_hop <= 1.0:
+            raise ValueError("neighbour_hop must be in [0, 1]")
+        if restart_after < 1:
+            raise ValueError("restart_after must be >= 1")
+        if not 0.0 <= init_fraction < 1.0:
+            raise ValueError("init_fraction must be in [0, 1)")
+        self.t_start = t_start
+        self.t_end = t_end
+        self.neighbour_hop = neighbour_hop
+        self.restart_after = restart_after
+        self.init_fraction = init_fraction
+        self.respect_constraints = respect_constraints
+
+    # -- helpers -------------------------------------------------------------
+    def _random_genes(
+        self, objective: Objective, rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        cfg = objective.space.sample(
+            rng, 1, feasible_only=self.respect_constraints
+        )[0]
+        return tuple(int(i) for i in objective.space.config_to_indices(cfg))
+
+    def _neighbour(
+        self,
+        genes: Tuple[int, ...],
+        objective: Objective,
+        rng: np.random.Generator,
+    ) -> Tuple[int, ...]:
+        """Mutate one random parameter: adjacent step or uniform hop."""
+        params = objective.space.parameters
+        d = int(rng.integers(len(params)))
+        card = params[d].cardinality
+        out = list(genes)
+        if card > 1:
+            if rng.random() < self.neighbour_hop:
+                out[d] = int(rng.integers(card))
+            else:
+                step = 1 if rng.random() < 0.5 else -1
+                out[d] = int(np.clip(genes[d] + step, 0, card - 1))
+        return tuple(out)
+
+    @staticmethod
+    def _loss(runtime: float, worst_seen: float) -> float:
+        """Log-runtime loss; launch failures get a finite penalty."""
+        if np.isfinite(runtime):
+            return float(np.log(runtime))
+        return float(np.log(worst_seen * 10.0))
+
+    # -- main loop -----------------------------------------------------------
+    def tune(self, objective: Objective, rng: np.random.Generator) -> TuningResult:
+        space = objective.space
+        cache: Dict[Tuple[int, ...], float] = {}
+        worst_seen = 1.0
+
+        def measure(genes: Tuple[int, ...]) -> float:
+            nonlocal worst_seen
+            if genes in cache:
+                return cache[genes]
+            runtime = objective.evaluate(space.indices_to_config(list(genes)))
+            if np.isfinite(runtime):
+                worst_seen = max(worst_seen, runtime)
+            cache[genes] = runtime
+            return runtime
+
+        budget = objective.budget
+        cooling = (self.t_end / self.t_start) ** (1.0 / max(budget - 1, 1))
+
+        try:
+            # Warm start: a small random sample, walk begins at its best.
+            n_init = max(1, int(round(self.init_fraction * budget)))
+            current = self._random_genes(objective, rng)
+            current_loss = self._loss(measure(current), worst_seen)
+            for _ in range(n_init - 1):
+                genes = self._random_genes(objective, rng)
+                loss = self._loss(measure(genes), worst_seen)
+                if loss < current_loss:
+                    current, current_loss = genes, loss
+            temperature = self.t_start
+            rejected = 0
+            while objective.remaining > 0:
+                candidate = self._neighbour(current, objective, rng)
+                cand_loss = self._loss(measure(candidate), worst_seen)
+                accept = cand_loss <= current_loss or rng.random() < np.exp(
+                    -(cand_loss - current_loss) / temperature
+                )
+                if accept:
+                    current, current_loss = candidate, cand_loss
+                    rejected = 0
+                else:
+                    rejected += 1
+                    if rejected >= self.restart_after:
+                        current = self._random_genes(objective, rng)
+                        current_loss = self._loss(
+                            measure(current), worst_seen
+                        )
+                        rejected = 0
+                temperature = max(temperature * cooling, self.t_end)
+        except BudgetExhausted:
+            pass
+
+        return self._result_from(objective)

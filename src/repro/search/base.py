@@ -1,0 +1,208 @@
+"""Common tuner interface, budget accounting and result types.
+
+The paper's experimental design (Section V) compares algorithms by
+*sample efficiency*: every algorithm gets the same fixed number of kernel
+measurements (the sample size S), and the quality of its final
+configuration is what counts.  The machinery here enforces that contract:
+
+* :class:`Objective` wraps a measurement source and *counts every
+  evaluation*, raising :class:`BudgetExhausted` past the budget — so a
+  tuner cannot accidentally cheat;
+* :class:`TuningResult` records the best configuration *by observed
+  runtime* plus the full evaluation history (the experiment runner
+  re-evaluates the final configuration 10x separately, per Section VI-A);
+* :class:`Tuner` is the base class of the five algorithms, with the
+  SMBO/non-SMBO split from Section V-C: non-SMBO tuners
+  (:class:`DatasetTuner`) consume slices of a pre-collected,
+  constraint-respecting dataset, while SMBO tuners
+  (:class:`SequentialTuner`) measure live and sample the *unconstrained*
+  space (the paper's SMBO implementations had no constraint support).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..searchspace import SearchSpace
+
+__all__ = [
+    "BudgetExhausted",
+    "Objective",
+    "TuningResult",
+    "Tuner",
+    "SequentialTuner",
+    "DatasetTuner",
+]
+
+Configuration = Dict[str, int]
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when a tuner tries to measure past its sample budget."""
+
+
+class Objective:
+    """A budgeted, history-keeping measurement source.
+
+    Parameters
+    ----------
+    space:
+        The search space (used for validation and feature encoding).
+    measure:
+        ``config -> runtime_ms`` callable; returns ``inf`` for launch
+        failures.  Usually ``SimulatedDevice.measure(...).runtime_ms``
+        bound by the experiment runner.
+    budget:
+        Maximum number of evaluations.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        measure: Callable[[Configuration], float],
+        budget: int,
+    ) -> None:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.space = space
+        self._measure = measure
+        self.budget = int(budget)
+        self.configs: List[Configuration] = []
+        self.runtimes: List[float] = []
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.runtimes)
+
+    @property
+    def remaining(self) -> int:
+        return self.budget - self.evaluations
+
+    def evaluate(self, config: Configuration) -> float:
+        """Measure one configuration (counts against the budget)."""
+        if self.remaining <= 0:
+            raise BudgetExhausted(
+                f"budget of {self.budget} evaluations exhausted"
+            )
+        runtime = float(self._measure(dict(config)))
+        self.configs.append(dict(config))
+        self.runtimes.append(runtime)
+        return runtime
+
+    def best_observed(self) -> tuple:
+        """(best_config, best_runtime) among valid evaluations so far."""
+        if not self.runtimes:
+            raise RuntimeError("no evaluations performed yet")
+        arr = np.asarray(self.runtimes)
+        finite = np.isfinite(arr)
+        if not finite.any():
+            # Every sampled configuration failed to launch; report the
+            # first one (the caller sees runtime = inf and handles it).
+            return self.configs[0], float("inf")
+        idx = int(np.flatnonzero(finite)[np.argmin(arr[finite])])
+        return self.configs[idx], float(arr[idx])
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of one tuning run."""
+
+    #: Best configuration by observed (single-run) runtime.
+    best_config: Configuration
+    #: The observed runtime of that configuration, ms.
+    best_runtime_ms: float
+    #: Every configuration evaluated, in order.
+    history_configs: List[Configuration] = field(default_factory=list)
+    #: Matching observed runtimes, ms (inf = launch failure).
+    history_runtimes: List[float] = field(default_factory=list)
+    #: Total measurements consumed.
+    samples_used: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.history_configs) != len(self.history_runtimes):
+            raise ValueError("history configs/runtimes length mismatch")
+
+
+class Tuner:
+    """Base class of all search algorithms."""
+
+    #: Registry name, e.g. ``"bo_gp"``.
+    name: str = ""
+    #: Human-readable label used in figures, e.g. ``"BO GP"``.
+    label: str = ""
+    #: Whether the algorithm measures live (SMBO group in Section V-C) or
+    #: consumes a pre-collected dataset slice (non-SMBO group).
+    requires_live_objective: bool = True
+
+    def tune(self, objective: Objective, rng: np.random.Generator) -> TuningResult:
+        raise NotImplementedError
+
+    @staticmethod
+    def _result_from(objective: Objective) -> TuningResult:
+        best_config, best_runtime = objective.best_observed()
+        return TuningResult(
+            best_config=best_config,
+            best_runtime_ms=best_runtime,
+            history_configs=list(objective.configs),
+            history_runtimes=list(objective.runtimes),
+            samples_used=objective.evaluations,
+        )
+
+
+class SequentialTuner(Tuner):
+    """A live-measuring (SMBO-group) tuner: GA, BO GP, BO TPE."""
+
+    requires_live_objective = True
+
+
+class DatasetTuner(Tuner):
+    """A dataset-slice (non-SMBO-group) tuner: RS, RF.
+
+    Subclasses implement :meth:`tune_from_dataset`; :meth:`tune` exists so
+    the uniform interface still works when a live objective is all you
+    have (it collects the dataset through the objective first).
+    """
+
+    requires_live_objective = False
+
+    def tune_from_dataset(
+        self,
+        space: SearchSpace,
+        configs: List[Configuration],
+        runtimes_ms: np.ndarray,
+        objective: Optional[Objective],
+        rng: np.random.Generator,
+    ) -> TuningResult:
+        """Tune from a pre-collected (configs, runtimes) slice.
+
+        ``objective`` supplies any *additional* live measurements the
+        method needs (RF evaluates its top predictions); its budget must
+        account for the dataset rows already consumed.
+        """
+        raise NotImplementedError
+
+    def tune(self, objective: Objective, rng: np.random.Generator) -> TuningResult:
+        """Uniform-interface fallback: sample the dataset live, then tune.
+
+        Mirrors the paper's pipeline where the dataset rows are themselves
+        measured samples — they all count against the budget.
+        """
+        reserve = self.live_reserve()
+        n_dataset = objective.budget - reserve
+        if n_dataset < 1:
+            raise ValueError(
+                f"budget {objective.budget} too small for {self.name} "
+                f"(needs > {reserve})"
+            )
+        configs = objective.space.sample(rng, n_dataset, feasible_only=True)
+        runtimes = np.array([objective.evaluate(c) for c in configs])
+        return self.tune_from_dataset(
+            objective.space, configs, runtimes, objective, rng
+        )
+
+    def live_reserve(self) -> int:
+        """Evaluations to reserve for post-dataset live measurements."""
+        return 0

@@ -1,0 +1,140 @@
+"""Particle Swarm Optimization tuner (extension).
+
+The other metaheuristic from the paper's related work (CLTune evaluated
+PSO against SA and RS; Kernel Tuner ships it among van Werkhoven's
+strategies).  The implementation mirrors Kernel Tuner's: particles move
+in the continuous relaxation of the ordinal index space with classic
+velocity dynamics (inertia ``w``, cognitive ``c1``, social ``c2``), and
+positions are rounded/clipped to the discrete grid for evaluation.
+
+Included so the library covers the full algorithm set discussed in
+Sections IV-D/VIII, benchmarked in
+``benchmarks/test_ext_metaheuristics.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .base import BudgetExhausted, Objective, SequentialTuner, TuningResult
+
+__all__ = ["ParticleSwarmTuner"]
+
+
+class ParticleSwarmTuner(SequentialTuner):
+    """Classic global-best PSO over the ordinal index space.
+
+    Parameters
+    ----------
+    num_particles:
+        Swarm size (Kernel Tuner default 20).
+    inertia, cognitive, social:
+        Velocity coefficients ``w``, ``c1``, ``c2`` (Kernel Tuner
+        defaults 0.5 / 2.0 / 1.0).
+    respect_constraints:
+        Restrict initial particle positions to feasible configurations.
+    """
+
+    name = "particle_swarm"
+    label = "PSO"
+
+    def __init__(
+        self,
+        num_particles: int = 20,
+        inertia: float = 0.5,
+        cognitive: float = 2.0,
+        social: float = 1.0,
+        respect_constraints: bool = True,
+    ) -> None:
+        if num_particles < 2:
+            raise ValueError("num_particles must be >= 2")
+        if inertia < 0 or cognitive < 0 or social < 0:
+            raise ValueError("velocity coefficients must be >= 0")
+        self.num_particles = num_particles
+        self.inertia = inertia
+        self.cognitive = cognitive
+        self.social = social
+        self.respect_constraints = respect_constraints
+
+    def tune(self, objective: Objective, rng: np.random.Generator) -> TuningResult:
+        space = objective.space
+        d = space.dimensions
+        cards = space.cardinalities().astype(np.float64)
+        cache: Dict[Tuple[int, ...], float] = {}
+        worst_seen = 1.0
+
+        def loss_of(position: np.ndarray) -> float:
+            nonlocal worst_seen
+            genes = tuple(
+                int(np.clip(round(x), 0, c - 1))
+                for x, c in zip(position, cards)
+            )
+            if genes not in cache:
+                runtime = objective.evaluate(
+                    space.indices_to_config(list(genes))
+                )
+                if np.isfinite(runtime):
+                    worst_seen = max(worst_seen, runtime)
+                cache[genes] = runtime
+            runtime = cache[genes]
+            if np.isfinite(runtime):
+                return float(np.log(runtime))
+            return float(np.log(worst_seen * 10.0))
+
+        n = min(self.num_particles, objective.budget)
+        starts = space.sample(
+            rng, n, feasible_only=self.respect_constraints
+        )
+        positions = np.array(
+            [space.config_to_indices(c) for c in starts], dtype=np.float64
+        )
+        velocities = rng.uniform(-1.0, 1.0, size=(n, d)) * (cards / 8.0)
+
+        try:
+            p_best = positions.copy()
+            p_loss = np.array([loss_of(p) for p in positions])
+            g_idx = int(np.argmin(p_loss))
+            g_best, g_loss = p_best[g_idx].copy(), float(p_loss[g_idx])
+
+            while objective.remaining > 0:
+                before = objective.evaluations
+                r1 = rng.random((n, d))
+                r2 = rng.random((n, d))
+                velocities = (
+                    self.inertia * velocities
+                    + self.cognitive * r1 * (p_best - positions)
+                    + self.social * r2 * (g_best[None, :] - positions)
+                )
+                # Velocity clamp: at most half the axis per step.
+                np.clip(velocities, -cards / 2.0, cards / 2.0,
+                        out=velocities)
+                positions = np.clip(positions + velocities, 0.0, cards - 1)
+
+                for i in range(n):
+                    loss = loss_of(positions[i])
+                    if loss < p_loss[i]:
+                        p_loss[i] = loss
+                        p_best[i] = positions[i].copy()
+                        if loss < g_loss:
+                            g_loss = loss
+                            g_best = positions[i].copy()
+                    if objective.remaining <= 0:
+                        break
+                if objective.evaluations == before:
+                    # Swarm fully converged onto cached positions: kick a
+                    # particle to a fresh random spot so remaining budget
+                    # explores instead of spinning.
+                    k = int(rng.integers(n))
+                    fresh = space.sample(
+                        rng, 1, feasible_only=self.respect_constraints
+                    )[0]
+                    positions[k] = space.config_to_indices(fresh).astype(
+                        np.float64
+                    )
+                    velocities[k] = rng.uniform(-1.0, 1.0, d) * (cards / 8.0)
+        except BudgetExhausted:
+            pass
+
+        return self._result_from(objective)

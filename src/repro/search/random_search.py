@@ -1,0 +1,53 @@
+"""Random Search — the paper's baseline.
+
+"For the case of Random Search (RS), we simply select the minimum runtime
+from the collection of S samples for the given experiment" (Section VI-B).
+RS is a non-SMBO method, so its samples come from the pre-collected,
+constraint-respecting dataset (Section V-C) and it performs no live
+measurements of its own.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..searchspace import SearchSpace
+from .base import DatasetTuner, Objective, TuningResult
+
+__all__ = ["RandomSearchTuner"]
+
+
+class RandomSearchTuner(DatasetTuner):
+    """Best-of-S over a random sample of feasible configurations."""
+
+    name = "random_search"
+    label = "RS"
+
+    def tune_from_dataset(
+        self,
+        space: SearchSpace,
+        configs: List[dict],
+        runtimes_ms: np.ndarray,
+        objective: Optional[Objective],
+        rng: np.random.Generator,
+    ) -> TuningResult:
+        runtimes_ms = np.asarray(runtimes_ms, dtype=np.float64)
+        if len(configs) != runtimes_ms.size:
+            raise ValueError("configs/runtimes length mismatch")
+        if len(configs) == 0:
+            raise ValueError("random search needs at least one sample")
+
+        finite = np.isfinite(runtimes_ms)
+        if finite.any():
+            best = int(np.flatnonzero(finite)[np.argmin(runtimes_ms[finite])])
+        else:
+            best = 0
+        return TuningResult(
+            best_config=dict(configs[best]),
+            best_runtime_ms=float(runtimes_ms[best]),
+            history_configs=[dict(c) for c in configs],
+            history_runtimes=[float(r) for r in runtimes_ms],
+            samples_used=len(configs),
+        )

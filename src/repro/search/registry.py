@@ -1,0 +1,68 @@
+"""Registry of search algorithms.
+
+The paper's five (``PAPER_ALGORITHM_NAMES``) plus the extension
+metaheuristics from its related work (Simulated Annealing and Particle
+Swarm Optimization, ``EXTENSION_ALGORITHM_NAMES``) — any of which can be
+dropped into a study.  The multi-fidelity tuners (HyperBand/BOHB) live in
+:mod:`repro.search.multifidelity` and use their own objective type, so
+they are not registered here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .annealing import SimulatedAnnealingTuner
+from .base import Tuner
+from .bo_gp import BayesianGpTuner
+from .bo_tpe import BayesianTpeTuner
+from .genetic import GeneticAlgorithmTuner
+from .pso import ParticleSwarmTuner
+from .random_forest import RandomForestTuner
+from .random_search import RandomSearchTuner
+
+__all__ = [
+    "TUNER_FACTORIES",
+    "PAPER_ALGORITHM_NAMES",
+    "EXTENSION_ALGORITHM_NAMES",
+    "make_tuner",
+    "paper_tuners",
+]
+
+TUNER_FACTORIES: Dict[str, Callable[[], Tuner]] = {
+    RandomSearchTuner.name: RandomSearchTuner,
+    RandomForestTuner.name: RandomForestTuner,
+    GeneticAlgorithmTuner.name: GeneticAlgorithmTuner,
+    BayesianGpTuner.name: BayesianGpTuner,
+    BayesianTpeTuner.name: BayesianTpeTuner,
+    SimulatedAnnealingTuner.name: SimulatedAnnealingTuner,
+    ParticleSwarmTuner.name: ParticleSwarmTuner,
+}
+
+#: Algorithm order used in the paper's figures.
+PAPER_ALGORITHM_NAMES = (
+    "random_search",
+    "random_forest",
+    "genetic_algorithm",
+    "bo_gp",
+    "bo_tpe",
+)
+
+#: Extension metaheuristics (Sections IV-D/VIII), not in the paper's study.
+EXTENSION_ALGORITHM_NAMES = ("simulated_annealing", "particle_swarm")
+
+
+def make_tuner(name: str, **kwargs) -> Tuner:
+    """Construct a tuner by registry name with optional overrides."""
+    try:
+        factory = TUNER_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown tuner {name!r}; available: {sorted(TUNER_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def paper_tuners() -> List[Tuner]:
+    """All five algorithms with the paper's settings."""
+    return [make_tuner(name) for name in PAPER_ALGORITHM_NAMES]

@@ -1,0 +1,35 @@
+"""Search-space definitions: parameters, constraints, encodings, sampling."""
+
+from .constraints import (
+    Constraint,
+    ConstraintSet,
+    PredicateConstraint,
+    ProductLimitConstraint,
+    SumLimitConstraint,
+    workgroup_product_limit,
+)
+from .parameter import (
+    CategoricalParameter,
+    IntegerParameter,
+    OrdinalParameter,
+    Parameter,
+    PowerOfTwoParameter,
+)
+from .space import PAPER_SPACE_SIZE, SearchSpace, paper_search_space
+
+__all__ = [
+    "Parameter",
+    "IntegerParameter",
+    "OrdinalParameter",
+    "PowerOfTwoParameter",
+    "CategoricalParameter",
+    "Constraint",
+    "PredicateConstraint",
+    "ProductLimitConstraint",
+    "SumLimitConstraint",
+    "ConstraintSet",
+    "workgroup_product_limit",
+    "SearchSpace",
+    "paper_search_space",
+    "PAPER_SPACE_SIZE",
+]

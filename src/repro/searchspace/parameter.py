@@ -1,0 +1,239 @@
+"""Typed tunable parameters.
+
+A tunable parameter describes one axis of an autotuning search space.  The
+paper's space consists of six integer parameters: three *thread coarsening*
+factors in ``[1..16]`` and three *work-group size* dimensions in ``[1..8]``.
+We support the general cases (integer ranges, explicit ordinal value lists
+such as powers of two, and unordered categoricals) so that the library is
+usable beyond the paper's specific benchmarks.
+
+Every parameter knows how to:
+
+* enumerate its values (``values``),
+* map between a *value* and its ordinal *index* (``index_of`` /
+  ``value_at``) — search algorithms operate on indices, kernels consume
+  values,
+* sample a value uniformly at random,
+* produce a *numeric feature* for model-based tuners (``to_feature``) —
+  for ordinal parameters this is the value itself (models can exploit
+  ordering), for categoricals it is the index.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Parameter",
+    "IntegerParameter",
+    "OrdinalParameter",
+    "CategoricalParameter",
+    "PowerOfTwoParameter",
+]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """Abstract base for tunable parameters.
+
+    Parameters are immutable and hashable so they can serve as dictionary
+    keys and be shared freely between processes.
+    """
+
+    name: str
+
+    # -- enumeration ------------------------------------------------------
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct values this parameter can take."""
+        raise NotImplementedError
+
+    def values(self) -> Sequence[Any]:
+        """All values, in canonical (ordinal) order."""
+        raise NotImplementedError
+
+    # -- index <-> value --------------------------------------------------
+    def value_at(self, index: int) -> Any:
+        """The value at ordinal position ``index`` (0-based)."""
+        raise NotImplementedError
+
+    def index_of(self, value: Any) -> int:
+        """Inverse of :meth:`value_at`; raises ``ValueError`` if absent."""
+        raise NotImplementedError
+
+    def __contains__(self, value: Any) -> bool:
+        try:
+            self.index_of(value)
+        except (ValueError, KeyError):
+            return False
+        return True
+
+    # -- sampling & features ----------------------------------------------
+    def sample(self, rng: np.random.Generator) -> Any:
+        """Draw one value uniformly at random."""
+        return self.value_at(int(rng.integers(self.cardinality)))
+
+    def to_feature(self, value: Any) -> float:
+        """Numeric representation used by surrogate models."""
+        raise NotImplementedError
+
+    @property
+    def is_ordinal(self) -> bool:
+        """Whether neighbouring indices are semantically 'close'."""
+        return True
+
+
+@dataclass(frozen=True)
+class IntegerParameter(Parameter):
+    """A contiguous integer range ``[low..high]`` (inclusive).
+
+    This is the parameter type used for the paper's entire search space:
+    thread dimensions ``[1..16]`` and work-group sizes ``[1..8]``.
+    """
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(
+                f"parameter {self.name!r}: low ({self.low}) > high ({self.high})"
+            )
+
+    @property
+    def cardinality(self) -> int:
+        return self.high - self.low + 1
+
+    def values(self) -> Sequence[int]:
+        return range(self.low, self.high + 1)
+
+    def value_at(self, index: int) -> int:
+        if not 0 <= index < self.cardinality:
+            raise IndexError(
+                f"parameter {self.name!r}: index {index} out of range "
+                f"[0, {self.cardinality})"
+            )
+        return self.low + index
+
+    def index_of(self, value: Any) -> int:
+        iv = int(value)
+        if iv != value or not self.low <= iv <= self.high:
+            raise ValueError(
+                f"parameter {self.name!r}: {value!r} not in [{self.low}..{self.high}]"
+            )
+        return iv - self.low
+
+    def to_feature(self, value: Any) -> float:
+        return float(value)
+
+
+@dataclass(frozen=True)
+class OrdinalParameter(Parameter):
+    """An explicit, ordered list of numeric values (e.g. ``[1, 2, 4, 8]``)."""
+
+    choices: tuple = ()
+
+    def __post_init__(self) -> None:
+        if len(self.choices) == 0:
+            raise ValueError(f"parameter {self.name!r}: empty choice list")
+        if len(set(self.choices)) != len(self.choices):
+            raise ValueError(f"parameter {self.name!r}: duplicate choices")
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.choices)
+
+    def values(self) -> Sequence[Any]:
+        return self.choices
+
+    def value_at(self, index: int) -> Any:
+        if not 0 <= index < self.cardinality:
+            raise IndexError(
+                f"parameter {self.name!r}: index {index} out of range "
+                f"[0, {self.cardinality})"
+            )
+        return self.choices[index]
+
+    def index_of(self, value: Any) -> int:
+        try:
+            return self.choices.index(value)
+        except ValueError:
+            raise ValueError(
+                f"parameter {self.name!r}: {value!r} not among choices"
+            ) from None
+
+    def to_feature(self, value: Any) -> float:
+        return float(value)
+
+
+def _pow2_range(low: int, high: int) -> tuple:
+    if low < 1 or high < low:
+        raise ValueError(f"invalid power-of-two range [{low}, {high}]")
+    lo_exp = math.ceil(math.log2(low))
+    hi_exp = math.floor(math.log2(high))
+    return tuple(2**e for e in range(lo_exp, hi_exp + 1))
+
+
+@dataclass(frozen=True)
+class PowerOfTwoParameter(OrdinalParameter):
+    """Ordinal parameter over the powers of two inside ``[low..high]``.
+
+    Common in GPU autotuning (block sizes, vector widths).  Provided as a
+    convenience; the paper's own space uses full integer ranges.
+    """
+
+    low: int = 1
+    high: int = 1
+    choices: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        # Derive choices from the range; bypass frozen-dataclass protection.
+        object.__setattr__(self, "choices", _pow2_range(self.low, self.high))
+        super().__post_init__()
+
+
+@dataclass(frozen=True)
+class CategoricalParameter(Parameter):
+    """An unordered set of choices (e.g. memory layouts, loop orders)."""
+
+    choices: tuple = ()
+
+    def __post_init__(self) -> None:
+        if len(self.choices) == 0:
+            raise ValueError(f"parameter {self.name!r}: empty choice list")
+        if len(set(self.choices)) != len(self.choices):
+            raise ValueError(f"parameter {self.name!r}: duplicate choices")
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.choices)
+
+    def values(self) -> Sequence[Any]:
+        return self.choices
+
+    def value_at(self, index: int) -> Any:
+        if not 0 <= index < self.cardinality:
+            raise IndexError(
+                f"parameter {self.name!r}: index {index} out of range "
+                f"[0, {self.cardinality})"
+            )
+        return self.choices[index]
+
+    def index_of(self, value: Any) -> int:
+        try:
+            return self.choices.index(value)
+        except ValueError:
+            raise ValueError(
+                f"parameter {self.name!r}: {value!r} not among choices"
+            ) from None
+
+    def to_feature(self, value: Any) -> float:
+        return float(self.index_of(value))
+
+    @property
+    def is_ordinal(self) -> bool:
+        return False

@@ -1,0 +1,357 @@
+"""The search space: an ordered collection of tunable parameters.
+
+A :class:`SearchSpace` provides the three representations that the rest of
+the library moves between:
+
+* **configuration** — ``dict`` mapping parameter name to value; this is what
+  kernels and the GPU simulator consume.
+* **index vector** — ``np.ndarray`` of per-parameter ordinal indices; this
+  is what discrete search algorithms (GA, TPE) manipulate.
+* **flat index** — a single integer in ``[0, cardinality)`` obtained by
+  mixed-radix encoding; convenient for exhaustive scans, dataset files and
+  hashing.
+
+Model-based tuners additionally use :meth:`to_features`, which maps
+configurations to a float matrix (ordinal parameters contribute their
+numeric value so that surrogate models can exploit ordering).
+
+The paper's six-parameter space is constructed by
+:func:`paper_search_space`: thread coarsening ``{X,Y,Z}_t ∈ [1..16]`` and
+work-group ``{X,Y,Z}_w ∈ [1..8]``, giving ``16^3 * 8^3 = 2,097,152``
+configurations (Section V-C).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .constraints import Constraint, ConstraintSet, workgroup_product_limit
+from .parameter import IntegerParameter, Parameter
+
+__all__ = ["SearchSpace", "paper_search_space", "PAPER_SPACE_SIZE"]
+
+#: |S| from Section V-C of the paper.
+PAPER_SPACE_SIZE = 16**3 * 8**3
+
+Configuration = Dict[str, Any]
+
+
+class SearchSpace:
+    """An ordered, immutable cartesian product of parameters.
+
+    Parameters
+    ----------
+    parameters:
+        The tunable parameters, in a fixed order that defines vector and
+        flat-index encodings.
+    constraints:
+        Optional feasibility constraints.  Unless stated otherwise, space
+        operations (cardinality, enumeration order, flat indices) refer to
+        the *unconstrained* product space; feasibility-aware helpers are
+        suffixed or flagged explicitly (``sample(..., feasible_only=True)``,
+        :meth:`enumerate_feasible`).
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        constraints: Iterable[Constraint] = (),
+    ) -> None:
+        if len(parameters) == 0:
+            raise ValueError("a search space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names: {names}")
+        self._parameters = tuple(parameters)
+        self._by_name = {p.name: p for p in self._parameters}
+        self._constraints = (
+            constraints
+            if isinstance(constraints, ConstraintSet)
+            else ConstraintSet(constraints)
+        )
+        for c in self._constraints:
+            for pname in c.parameter_names:
+                if pname not in self._by_name:
+                    raise ValueError(
+                        f"constraint {c.describe()!r} references unknown "
+                        f"parameter {pname!r}"
+                    )
+        cards = np.array([p.cardinality for p in self._parameters], dtype=np.int64)
+        self._cardinalities = cards
+        # Mixed-radix place values: last parameter varies fastest.
+        self._radix = np.concatenate(
+            [np.cumprod(cards[::-1])[::-1][1:], np.array([1], dtype=np.int64)]
+        )
+        self._size = int(np.prod(cards))
+
+    # -- basic introspection ------------------------------------------------
+    @property
+    def parameters(self) -> tuple:
+        return self._parameters
+
+    @property
+    def names(self) -> List[str]:
+        return [p.name for p in self._parameters]
+
+    @property
+    def constraints(self) -> ConstraintSet:
+        return self._constraints
+
+    @property
+    def dimensions(self) -> int:
+        return len(self._parameters)
+
+    @property
+    def size(self) -> int:
+        """Total number of configurations in the unconstrained product."""
+        return self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def parameter(self, name: str) -> Parameter:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no parameter named {name!r} in this space") from None
+
+    def cardinalities(self) -> np.ndarray:
+        """Per-parameter cardinality array (copy)."""
+        return self._cardinalities.copy()
+
+    # -- representation conversions ------------------------------------------
+    def validate_config(self, config: Mapping[str, Any]) -> None:
+        """Raise ``ValueError``/``KeyError`` if ``config`` is malformed."""
+        missing = set(self._by_name) - set(config)
+        if missing:
+            raise KeyError(f"configuration missing parameters: {sorted(missing)}")
+        extra = set(config) - set(self._by_name)
+        if extra:
+            raise KeyError(f"configuration has unknown parameters: {sorted(extra)}")
+        for p in self._parameters:
+            if config[p.name] not in p:
+                raise ValueError(
+                    f"value {config[p.name]!r} invalid for parameter {p.name!r}"
+                )
+
+    def config_to_indices(self, config: Mapping[str, Any]) -> np.ndarray:
+        """Configuration dict -> per-parameter ordinal index vector."""
+        return np.array(
+            [p.index_of(config[p.name]) for p in self._parameters], dtype=np.int64
+        )
+
+    def indices_to_config(self, indices: Sequence[int]) -> Configuration:
+        """Per-parameter ordinal index vector -> configuration dict."""
+        if len(indices) != self.dimensions:
+            raise ValueError(
+                f"expected {self.dimensions} indices, got {len(indices)}"
+            )
+        return {
+            p.name: p.value_at(int(i)) for p, i in zip(self._parameters, indices)
+        }
+
+    def indices_to_flat(self, indices: Sequence[int]) -> int:
+        """Index vector -> flat index via mixed-radix encoding."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if np.any(idx < 0) or np.any(idx >= self._cardinalities):
+            raise ValueError(f"index vector {list(indices)} out of range")
+        return int(np.dot(idx, self._radix))
+
+    def flat_to_indices(self, flat: int) -> np.ndarray:
+        """Flat index -> index vector (inverse of :meth:`indices_to_flat`)."""
+        if not 0 <= flat < self._size:
+            raise ValueError(f"flat index {flat} out of range [0, {self._size})")
+        out = np.empty(self.dimensions, dtype=np.int64)
+        rem = int(flat)
+        for i, place in enumerate(self._radix):
+            out[i], rem = divmod(rem, int(place))
+        return out
+
+    def config_to_flat(self, config: Mapping[str, Any]) -> int:
+        return self.indices_to_flat(self.config_to_indices(config))
+
+    def flat_to_config(self, flat: int) -> Configuration:
+        return self.indices_to_config(self.flat_to_indices(flat))
+
+    def flats_to_index_matrix(self, flats: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`flat_to_indices` for an array of flat indices."""
+        flats = np.asarray(flats, dtype=np.int64)
+        if flats.size and (flats.min() < 0 or flats.max() >= self._size):
+            raise ValueError("flat index out of range")
+        out = np.empty((flats.size, self.dimensions), dtype=np.int64)
+        rem = flats.copy()
+        for i, place in enumerate(self._radix):
+            out[:, i], rem = np.divmod(rem, int(place))
+        return out
+
+    # -- model features -------------------------------------------------------
+    def to_features(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Configurations -> ``(n, d)`` float feature matrix for surrogates."""
+        feats = np.empty((len(configs), self.dimensions), dtype=np.float64)
+        for r, cfg in enumerate(configs):
+            for c, p in enumerate(self._parameters):
+                feats[r, c] = p.to_feature(cfg[p.name])
+        return feats
+
+    def index_matrix_to_features(self, indices: np.ndarray) -> np.ndarray:
+        """Index-vector matrix ``(n, d)`` -> feature matrix ``(n, d)``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        feats = np.empty(indices.shape, dtype=np.float64)
+        for c, p in enumerate(self._parameters):
+            col_values = np.array([p.to_feature(p.value_at(int(i)))
+                                   for i in range(p.cardinality)])
+            feats[:, c] = col_values[indices[:, c]]
+        return feats
+
+    def feature_bounds(self) -> np.ndarray:
+        """``(d, 2)`` array of [min, max] feature values per dimension."""
+        bounds = np.empty((self.dimensions, 2), dtype=np.float64)
+        for c, p in enumerate(self._parameters):
+            feats = [p.to_feature(v) for v in p.values()]
+            bounds[c] = (min(feats), max(feats))
+        return bounds
+
+    # -- feasibility ----------------------------------------------------------
+    def is_feasible(self, config: Mapping[str, Any]) -> bool:
+        return self._constraints.is_satisfied(config)
+
+    def with_constraints(self, *more: Constraint) -> "SearchSpace":
+        """A copy of this space with additional constraints."""
+        return SearchSpace(self._parameters, self._constraints.extended(*more))
+
+    def without_constraints(self) -> "SearchSpace":
+        """A copy of this space with all constraints removed."""
+        return SearchSpace(self._parameters)
+
+    # -- sampling --------------------------------------------------------------
+    def sample(
+        self,
+        rng: np.random.Generator,
+        n: int = 1,
+        feasible_only: bool = False,
+        max_rejections: int = 10_000,
+    ) -> List[Configuration]:
+        """Draw ``n`` configurations uniformly at random.
+
+        With ``feasible_only=True``, rejection-samples until ``n`` feasible
+        configurations are found (the paper's "constraint specification"
+        sampling used for non-SMBO methods).  Sampling *with replacement*:
+        duplicates are possible, as in real measurement campaigns.
+        """
+        out: List[Configuration] = []
+        rejections = 0
+        while len(out) < n:
+            cfg = {p.name: p.sample(rng) for p in self._parameters}
+            if feasible_only and not self.is_feasible(cfg):
+                rejections += 1
+                if rejections > max_rejections:
+                    raise RuntimeError(
+                        f"exceeded {max_rejections} rejections while sampling "
+                        f"feasible configurations; constraints may be "
+                        f"unsatisfiable: {self._constraints.describe()}"
+                    )
+                continue
+            out.append(cfg)
+        return out
+
+    def sample_flat(
+        self, rng: np.random.Generator, n: int, feasible_only: bool = False
+    ) -> np.ndarray:
+        """Like :meth:`sample` but returns flat indices (vectorized fast path)."""
+        if not feasible_only or len(self._constraints) == 0:
+            return rng.integers(0, self._size, size=n, dtype=np.int64)
+        chunks: List[np.ndarray] = []
+        need = n
+        attempts = 0
+        while need > 0:
+            attempts += 1
+            if attempts > 1000:
+                raise RuntimeError("feasible sampling failed to converge")
+            cand = rng.integers(0, self._size, size=max(need * 2, 64), dtype=np.int64)
+            mask = np.fromiter(
+                (self.is_feasible(self.flat_to_config(int(f))) for f in cand),
+                dtype=bool,
+                count=cand.size,
+            )
+            good = cand[mask][:need]
+            chunks.append(good)
+            need -= good.size
+        return np.concatenate(chunks)
+
+    def sample_feature_matrix(
+        self, rng: np.random.Generator, n: int, feasible_only: bool = False
+    ) -> tuple:
+        """Vectorized sampling: ``(flats, features)`` for ``n`` draws.
+
+        The fast path for model-based tuners that score large candidate
+        pools every iteration — no per-configuration dictionaries are
+        built.  ``features`` is the ``(n, d)`` float matrix
+        :meth:`to_features` would produce.
+        """
+        flats = self.sample_flat(rng, n, feasible_only=feasible_only)
+        features = self.index_matrix_to_features(
+            self.flats_to_index_matrix(flats)
+        )
+        return flats, features
+
+    # -- enumeration -------------------------------------------------------------
+    def enumerate(self) -> Iterator[Configuration]:
+        """Yield every configuration in flat-index order.
+
+        For the paper's space this is ~2.1 M dictionaries — use the
+        vectorized helpers in :mod:`repro.experiments.optimum` for full
+        scans instead.
+        """
+        for flat in range(self._size):
+            yield self.flat_to_config(flat)
+
+    def enumerate_feasible(self) -> Iterator[Configuration]:
+        """Yield every feasible configuration in flat-index order."""
+        for cfg in self.enumerate():
+            if self.is_feasible(cfg):
+                yield cfg
+
+    def count_feasible(self, sample: Optional[int] = None,
+                       rng: Optional[np.random.Generator] = None) -> int:
+        """Count (or with ``sample``, estimate) the feasible configurations."""
+        if sample is None:
+            return sum(1 for _ in self.enumerate_feasible())
+        rng = rng or np.random.default_rng(0)
+        flats = rng.integers(0, self._size, size=sample)
+        hits = sum(
+            1 for f in flats if self.is_feasible(self.flat_to_config(int(f)))
+        )
+        return int(round(hits / sample * self._size))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        params = ", ".join(
+            f"{p.name}[{p.cardinality}]" for p in self._parameters
+        )
+        return (
+            f"SearchSpace({params}; |S|={self._size}; "
+            f"constraints={self._constraints.describe()})"
+        )
+
+
+def paper_search_space(constrained: bool = True) -> SearchSpace:
+    """The 6-parameter space from Section V-C of the paper.
+
+    Thread coarsening ``thread_{x,y,z} ∈ [1..16]`` and work-group sizes
+    ``wg_{x,y,z} ∈ [1..8]``; ``|S| = 2,097,152``.  With
+    ``constrained=True`` the work-group product limit
+    ``wg_x * wg_y * wg_z <= 256`` is attached (note that with per-dimension
+    max 8 the limit only excludes products of 512: e.g. 8*8*8), matching
+    the paper's constraint specification.
+    """
+    params = [
+        IntegerParameter("thread_x", 1, 16),
+        IntegerParameter("thread_y", 1, 16),
+        IntegerParameter("thread_z", 1, 16),
+        IntegerParameter("wg_x", 1, 8),
+        IntegerParameter("wg_y", 1, 8),
+        IntegerParameter("wg_z", 1, 8),
+    ]
+    constraints = [workgroup_product_limit()] if constrained else []
+    return SearchSpace(params, constraints)

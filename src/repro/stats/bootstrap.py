@@ -1,0 +1,74 @@
+"""Bootstrap confidence intervals for aggregate statistics.
+
+Fig. 3 of the paper plots the mean percentage-of-optimum across all
+benchmark/architecture cells with a confidence interval.  Because the
+underlying populations are non-Gaussian (Section V-A), we use percentile
+bootstrap intervals rather than normal-theory ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["BootstrapInterval", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A point estimate with a percentile-bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def halfwidth(self) -> float:
+        return 0.5 * (self.high - self.low)
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapInterval:
+    """Percentile bootstrap CI of ``statistic`` over ``values``.
+
+    Resampling is vectorized: one ``(n_resamples, n)`` index draw, with
+    ``statistic`` applied along the resample axis when it supports an
+    ``axis`` keyword (NumPy reductions do), falling back to a loop for
+    arbitrary callables.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("values must be non-empty")
+    if not np.all(np.isfinite(values)):
+        raise ValueError("values must be finite")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    estimate = float(statistic(values))
+    idx = rng.integers(0, values.size, size=(n_resamples, values.size))
+    resamples = values[idx]
+    try:
+        stats = np.asarray(statistic(resamples, axis=1), dtype=np.float64)
+    except TypeError:
+        stats = np.array(
+            [statistic(row) for row in resamples], dtype=np.float64
+        )
+    alpha = 1.0 - confidence
+    low, high = np.quantile(stats, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return BootstrapInterval(
+        estimate=estimate,
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+    )

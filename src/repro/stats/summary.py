@@ -1,0 +1,86 @@
+"""Summary statistics and algorithm-pair comparisons.
+
+The glue between raw experiment populations and the paper's reported
+quantities: medians (Fig. 2/4a), CLES (Fig. 4b), pairwise MWU significance
+(Section VII's "we view all cases statistically significant where a given
+algorithm's median performance differs by more than 1%").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .cles import cles_smaller
+from .mannwhitney import PAPER_ALPHA, mann_whitney_u
+
+__all__ = ["PairComparison", "compare_pair", "median_speedup", "describe"]
+
+
+@dataclass(frozen=True)
+class PairComparison:
+    """Comparison of two runtime populations (smaller = better)."""
+
+    #: Median runtime of A divided into median of B: > 1 means A faster.
+    median_speedup: float
+    #: P(a random A run beats a random B run), ties half-counted.
+    cles: float
+    #: MWU p-value (two-sided).
+    p_value: float
+    #: Significant at the paper's alpha AND the medians differ by > 1%
+    #: (the paper's combined criterion, Section VII).
+    significant: bool
+
+
+def median_speedup(runtimes_a: np.ndarray, runtimes_b: np.ndarray) -> float:
+    """``median(B) / median(A)``: how much faster A's typical result is."""
+    med_a = float(np.median(runtimes_a))
+    med_b = float(np.median(runtimes_b))
+    if med_a <= 0:
+        raise ValueError("runtimes must be positive")
+    return med_b / med_a
+
+
+def compare_pair(
+    runtimes_a: np.ndarray,
+    runtimes_b: np.ndarray,
+    alpha: float = PAPER_ALPHA,
+    min_median_delta: float = 0.01,
+) -> PairComparison:
+    """Full A-vs-B comparison as the paper reports it.
+
+    ``runtimes_a``/``runtimes_b`` are the final-configuration runtimes of
+    the two algorithms across all experiments of one cell.
+    """
+    runtimes_a = np.asarray(runtimes_a, dtype=np.float64)
+    runtimes_b = np.asarray(runtimes_b, dtype=np.float64)
+    speedup = median_speedup(runtimes_a, runtimes_b)
+    effect = cles_smaller(runtimes_a, runtimes_b)
+    test = mann_whitney_u(runtimes_a, runtimes_b, alternative="two-sided")
+    significant = test.significant(alpha) and abs(speedup - 1.0) > min_median_delta
+    return PairComparison(
+        median_speedup=speedup,
+        cles=effect,
+        p_value=test.p_value,
+        significant=significant,
+    )
+
+
+def describe(values: np.ndarray) -> Dict[str, float]:
+    """Location/scale/shape summary of one population."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("values must be non-empty")
+    q25, q50, q75 = np.quantile(values, [0.25, 0.5, 0.75])
+    return {
+        "n": float(values.size),
+        "mean": float(values.mean()),
+        "std": float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        "min": float(values.min()),
+        "q25": float(q25),
+        "median": float(q50),
+        "q75": float(q75),
+        "max": float(values.max()),
+    }

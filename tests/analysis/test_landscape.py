@@ -1,0 +1,105 @@
+"""Tests for landscape statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_landscape,
+    fitness_distance_correlation,
+    good_region_density,
+    local_optima_fraction,
+    walk_autocorrelation,
+)
+from repro.experiments import find_true_optimum
+from repro.gpu import TITAN_V
+from repro.kernels import get_kernel
+
+
+@pytest.fixture(scope="module")
+def add_landscape():
+    kernel = get_kernel("add", 2048, 2048)
+    profile = kernel.profile()
+    space = kernel.space()
+    optimum = find_true_optimum(profile, TITAN_V, space)
+    return profile, space, optimum
+
+
+class TestFdc:
+    def test_positive_on_structured_landscape(self, add_landscape):
+        profile, space, optimum = add_landscape
+        fdc = fitness_distance_correlation(
+            profile, TITAN_V, space, optimum.config,
+            n_samples=2048, rng=np.random.default_rng(0),
+        )
+        # The landscape has global structure: quality degrades away from
+        # the optimum on average.
+        assert 0.05 < fdc <= 1.0
+
+    def test_deterministic_given_rng(self, add_landscape):
+        profile, space, optimum = add_landscape
+        a = fitness_distance_correlation(
+            profile, TITAN_V, space, optimum.config,
+            n_samples=512, rng=np.random.default_rng(1),
+        )
+        b = fitness_distance_correlation(
+            profile, TITAN_V, space, optimum.config,
+            n_samples=512, rng=np.random.default_rng(1),
+        )
+        assert a == b
+
+
+class TestWalkAutocorrelation:
+    def test_smooth_at_step_resolution(self, add_landscape):
+        profile, space, _ = add_landscape
+        ac = walk_autocorrelation(
+            profile, TITAN_V, space, walk_length=256, n_walks=4,
+            rng=np.random.default_rng(0),
+        )
+        # One-parameter steps mostly preserve performance.
+        assert 0.3 < ac < 1.0
+
+
+class TestLocalOptima:
+    def test_fraction_bounded(self, add_landscape):
+        profile, space, _ = add_landscape
+        frac = local_optima_fraction(
+            profile, TITAN_V, space, n_probes=64,
+            rng=np.random.default_rng(0),
+        )
+        assert 0.0 <= frac <= 1.0
+        # Rugged but not everything is a trap.
+        assert frac < 0.5
+
+
+class TestGoodRegion:
+    def test_density_monotone_in_factor(self, add_landscape):
+        profile, space, optimum = add_landscape
+        dens = good_region_density(
+            profile, TITAN_V, space, optimum.runtime_ms,
+            n_samples=20_000, rng=np.random.default_rng(0),
+        )
+        values = [dens[f] for f in sorted(dens)]
+        assert values == sorted(values)
+        assert values[-1] > 0  # something is within 2x of optimum
+
+    def test_nothing_below_optimum_factor_one(self, add_landscape):
+        profile, space, optimum = add_landscape
+        dens = good_region_density(
+            profile, TITAN_V, space, optimum.runtime_ms,
+            factors=(0.999,), n_samples=20_000,
+            rng=np.random.default_rng(0),
+        )
+        assert dens[0.999] == 0.0
+
+
+class TestAnalyzeLandscape:
+    def test_full_fingerprint(self, add_landscape):
+        profile, space, optimum = add_landscape
+        stats = analyze_landscape(
+            profile, TITAN_V, space, optimum.config, optimum.runtime_ms,
+            rng=np.random.default_rng(0),
+        )
+        assert stats.kernel == "add"
+        assert stats.arch == "titan_v"
+        text = stats.describe()
+        assert "FDC" in text and "density" in text

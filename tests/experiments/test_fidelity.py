@@ -1,0 +1,88 @@
+"""Unit tests for problem-size fidelity measurement."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fidelity import make_fidelity_measure
+from repro.gpu import TITAN_V
+from repro.parallel import RngFactory
+
+GOOD = {"thread_x": 1, "thread_y": 1, "thread_z": 1,
+        "wg_x": 8, "wg_y": 4, "wg_z": 1}
+
+
+class TestMakeFidelityMeasure:
+    def test_full_fidelity_matches_full_size(self):
+        measure = make_fidelity_measure(
+            "add", TITAN_V, full_x=2048, full_y=2048,
+            rng_factory=RngFactory(0),
+        )
+        rt = measure(GOOD, 1.0)
+        assert np.isfinite(rt) and rt > 0
+
+    def test_runtime_scales_with_fidelity(self):
+        measure = make_fidelity_measure(
+            "add", TITAN_V, full_x=4096, full_y=4096,
+            rng_factory=RngFactory(0),
+        )
+        quarter = measure(GOOD, 0.25)
+        full = measure(GOOD, 1.0)
+        # Quarter-area run is much cheaper, but overheads keep the ratio
+        # above the naive 4x.
+        assert full / quarter > 2.0
+
+    def test_low_fidelity_is_biased_not_exact(self):
+        """Launch overhead makes low-fidelity time more than area-scaled —
+        the realistic bias HyperBand must cope with."""
+        measure = make_fidelity_measure(
+            "add", TITAN_V, full_x=4096, full_y=4096,
+            rng_factory=RngFactory(0),
+        )
+        sixteenth = measure(GOOD, 1 / 16)
+        full = measure(GOOD, 1.0)
+        assert sixteenth > full / 16 * 0.9
+
+    def test_min_side_floor(self):
+        measure = make_fidelity_measure(
+            "add", TITAN_V, full_x=256, full_y=256, min_side=128,
+            rng_factory=RngFactory(0),
+        )
+        # Even a tiny fidelity cannot shrink below min_side.
+        rt = measure(GOOD, 1e-4)
+        assert np.isfinite(rt)
+
+    def test_invalid_fidelity(self):
+        measure = make_fidelity_measure(
+            "add", TITAN_V, full_x=512, full_y=512,
+            rng_factory=RngFactory(0),
+        )
+        with pytest.raises(ValueError):
+            measure(GOOD, 0.0)
+        with pytest.raises(ValueError):
+            measure(GOOD, 1.1)
+
+    def test_too_small_problem_rejected(self):
+        with pytest.raises(ValueError):
+            make_fidelity_measure("add", TITAN_V, full_x=16, full_y=16)
+
+    def test_reproducible_with_factory(self):
+        a = make_fidelity_measure(
+            "harris", TITAN_V, full_x=1024, full_y=1024,
+            rng_factory=RngFactory(5),
+        )
+        b = make_fidelity_measure(
+            "harris", TITAN_V, full_x=1024, full_y=1024,
+            rng_factory=RngFactory(5),
+        )
+        assert a(GOOD, 0.5) == b(GOOD, 0.5)
+
+    def test_device_cache_reused(self):
+        measure = make_fidelity_measure(
+            "add", TITAN_V, full_x=1024, full_y=1024,
+            rng_factory=RngFactory(0),
+        )
+        # Same fidelity twice: second draw comes from the same noise
+        # stream (different value), proving the device persisted.
+        r1 = measure(GOOD, 0.5)
+        r2 = measure(GOOD, 0.5)
+        assert r1 != r2

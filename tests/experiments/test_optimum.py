@@ -1,0 +1,90 @@
+"""Unit tests for exhaustive optimum scans."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import clear_optimum_cache, find_true_optimum
+from repro.gpu import TITAN_V, simulate_runtimes
+from repro.kernels import get_kernel
+from repro.searchspace import IntegerParameter, SearchSpace, paper_search_space
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_optimum_cache()
+    yield
+    clear_optimum_cache()
+
+
+@pytest.fixture
+def small_space():
+    """A reduced 6-parameter space (~4k configs) for exact cross-checks."""
+    return SearchSpace(
+        [
+            IntegerParameter("thread_x", 1, 4),
+            IntegerParameter("thread_y", 1, 4),
+            IntegerParameter("thread_z", 1, 2),
+            IntegerParameter("wg_x", 1, 8),
+            IntegerParameter("wg_y", 1, 8),
+            IntegerParameter("wg_z", 1, 2),
+        ]
+    )
+
+
+class TestScan:
+    def test_matches_brute_force_on_small_space(self, small_space):
+        profile = get_kernel("add", 512, 512).profile()
+        opt = find_true_optimum(profile, TITAN_V, small_space,
+                                chunk_size=500)
+        # Brute force with one vectorized pass.
+        flats = np.arange(small_space.size)
+        values = small_space.index_matrix_to_features(
+            small_space.flats_to_index_matrix(flats)
+        ).astype(np.int64)
+        rts = simulate_runtimes(profile, TITAN_V, values).runtime_ms
+        assert opt.runtime_ms == pytest.approx(np.min(rts))
+        assert opt.flat_index == int(np.argmin(rts))
+
+    def test_chunking_invariant(self, small_space):
+        profile = get_kernel("harris", 512, 512).profile()
+        a = find_true_optimum(profile, TITAN_V, small_space,
+                              chunk_size=100, use_cache=False)
+        b = find_true_optimum(profile, TITAN_V, small_space,
+                              chunk_size=4096, use_cache=False)
+        assert a.flat_index == b.flat_index
+        assert a.runtime_ms == b.runtime_ms
+
+    def test_optimum_is_feasible(self):
+        space = paper_search_space()
+        profile = get_kernel("add", 1024, 1024).profile()
+        opt = find_true_optimum(profile, TITAN_V, space)
+        assert space.is_feasible(opt.config)
+        assert np.isfinite(opt.runtime_ms)
+        assert opt.scanned == space.size
+
+    def test_cache_hit_returns_same_object(self, small_space):
+        profile = get_kernel("add", 512, 512).profile()
+        a = find_true_optimum(profile, TITAN_V, small_space)
+        b = find_true_optimum(profile, TITAN_V, small_space)
+        assert a is b
+
+    def test_cache_distinguishes_architectures(self, small_space):
+        from repro.gpu import GTX_980
+
+        profile = get_kernel("add", 512, 512).profile()
+        a = find_true_optimum(profile, TITAN_V, small_space)
+        b = find_true_optimum(profile, GTX_980, small_space)
+        assert a.runtime_ms != b.runtime_ms
+
+    def test_feasibility_filter_applied(self, small_space):
+        """With a constraint tighter than the device limit, the scan must
+        skip configurations the device itself could still launch."""
+        from repro.searchspace import workgroup_product_limit
+
+        tight = small_space.with_constraints(
+            workgroup_product_limit(("wg_x", "wg_y", "wg_z"), 8)
+        )
+        profile = get_kernel("add", 512, 512).profile()
+        opt = find_true_optimum(profile, TITAN_V, tight, use_cache=False)
+        cfg = opt.config
+        assert cfg["wg_x"] * cfg["wg_y"] * cfg["wg_z"] <= 8

@@ -1,0 +1,99 @@
+"""Unit tests for result containers, persistence, and derived metrics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentResult, StudyResults
+
+
+def make_result(alg="rs", kernel="add", arch="titan_v", size=25, exp=0,
+                runtime=1.0):
+    return ExperimentResult(
+        algorithm=alg,
+        kernel=kernel,
+        arch=arch,
+        sample_size=size,
+        experiment=exp,
+        final_runtime_ms=runtime,
+        best_flat=exp,
+        observed_best_ms=runtime * 0.95,
+        samples_used=size,
+    )
+
+
+@pytest.fixture
+def results():
+    res = StudyResults(optima={("add", "titan_v"): 0.5})
+    for alg, base in (("rs", 1.0), ("ga", 0.8)):
+        for exp in range(10):
+            res.add(make_result(alg=alg, exp=exp,
+                                runtime=base + 0.01 * exp))
+    return res
+
+
+class TestAxes:
+    def test_axes_discovered(self, results):
+        assert results.algorithms == ["rs", "ga"]
+        assert results.kernels == ["add"]
+        assert results.archs == ["titan_v"]
+        assert results.sample_sizes == [25]
+
+    def test_len(self, results):
+        assert len(results) == 20
+
+
+class TestPopulations:
+    def test_population_values(self, results):
+        pop = results.population("rs", "add", "titan_v", 25)
+        assert pop.shape == (10,)
+        assert pop[0] == pytest.approx(1.0)
+
+    def test_missing_cell(self, results):
+        with pytest.raises(KeyError):
+            results.population("bo_gp", "add", "titan_v", 25)
+
+    def test_missing_optimum(self, results):
+        results.optima.clear()
+        with pytest.raises(KeyError):
+            results.percent_of_optimum("rs", "add", "titan_v", 25)
+
+
+class TestDerivedMetrics:
+    def test_percent_of_optimum(self, results):
+        pct = results.percent_of_optimum("rs", "add", "titan_v", 25)
+        assert pct[0] == pytest.approx(50.0)  # 0.5 / 1.0
+        assert np.all(pct <= 50.0)
+
+    def test_median_percent(self, results):
+        med = results.median_percent_of_optimum("ga", "add", "titan_v", 25)
+        assert 55.0 < med < 65.0
+
+    def test_speedup_over(self, results):
+        s = results.speedup_over("ga", "rs", "add", "titan_v", 25)
+        assert s == pytest.approx(1.05 / 0.845, rel=0.02)
+        assert s > 1.0
+
+    def test_cles_over(self, results):
+        c = results.cles_over("ga", "rs", "add", "titan_v", 25)
+        assert c == 1.0  # ga always faster in this synthetic setup
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, results, tmp_path):
+        path = tmp_path / "res.json"
+        results.metadata["note"] = "test"
+        results.save(path)
+        loaded = StudyResults.load(path)
+        assert len(loaded) == len(results)
+        assert loaded.metadata["note"] == "test"
+        assert loaded.optima == results.optima
+        np.testing.assert_array_equal(
+            loaded.population("rs", "add", "titan_v", 25),
+            results.population("rs", "add", "titan_v", 25),
+        )
+
+    def test_result_dataclass_roundtrip(self):
+        r = make_result()
+        doc = StudyResults([r]).to_json()
+        loaded = StudyResults.from_json(doc)
+        assert loaded.results[0] == r

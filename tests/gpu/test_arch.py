@@ -1,0 +1,68 @@
+"""Unit tests for GPU architecture descriptions."""
+
+import pytest
+
+from repro.gpu import (
+    GTX_980,
+    PAPER_ARCHITECTURES,
+    RTX_TITAN,
+    TITAN_V,
+    get_architecture,
+)
+
+
+class TestPresets:
+    def test_three_paper_architectures(self):
+        assert set(PAPER_ARCHITECTURES) == {"gtx_980", "titan_v", "rtx_titan"}
+
+    def test_years_match_paper(self):
+        # "RTX Titan from 2019, Titan V from 2017 and GTX 980 from Fall 2014"
+        assert GTX_980.year == 2014
+        assert TITAN_V.year == 2017
+        assert RTX_TITAN.year == 2019
+
+    def test_lookup_by_codename(self):
+        assert get_architecture("titan_v") is TITAN_V
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError, match="rtx_5090"):
+            get_architecture("rtx_5090")
+
+    def test_peak_gflops_ordering(self):
+        # Newer cards are much faster in FP32 peak.
+        assert GTX_980.peak_gflops() < TITAN_V.peak_gflops()
+        assert GTX_980.peak_gflops() < RTX_TITAN.peak_gflops()
+
+    def test_peak_gflops_magnitude(self):
+        # GTX 980 ~ 5 TFLOP/s, Titan V ~ 15, RTX Titan ~ 16 (public specs).
+        assert 4000 < GTX_980.peak_gflops() < 6000
+        assert 13000 < TITAN_V.peak_gflops() < 17000
+        assert 14000 < RTX_TITAN.peak_gflops() < 18000
+
+    def test_bandwidth_ordering(self):
+        assert GTX_980.dram_bandwidth_gbs < TITAN_V.dram_bandwidth_gbs
+        assert GTX_980.dram_bandwidth_gbs < RTX_TITAN.dram_bandwidth_gbs
+
+    def test_machine_balance_positive(self):
+        for arch in PAPER_ARCHITECTURES.values():
+            assert arch.machine_balance() > 1.0
+
+    def test_workgroup_limit_matches_paper_constraint(self):
+        # The paper's constraint: wg product must not exceed 256.
+        for arch in PAPER_ARCHITECTURES.values():
+            assert arch.max_threads_per_block == 256
+
+    def test_turing_reduced_warp_slots(self):
+        # Turing halves per-SM thread/warp slots vs Volta/Maxwell.
+        assert RTX_TITAN.max_warps_per_sm == 32
+        assert TITAN_V.max_warps_per_sm == 64
+
+    def test_with_overrides(self):
+        tweaked = TITAN_V.with_overrides(sm_count=40)
+        assert tweaked.sm_count == 40
+        assert TITAN_V.sm_count == 80  # original untouched
+        assert tweaked.name == TITAN_V.name
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TITAN_V.sm_count = 1  # type: ignore[misc]

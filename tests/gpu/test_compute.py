@@ -1,0 +1,107 @@
+"""Unit tests for the instruction-throughput model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import TITAN_V, WorkloadProfile, derive_geometry
+from repro.gpu.compute import (
+    GUARD_FLOPS,
+    compute_demand,
+    divergence_efficiency,
+    ilp_factor,
+)
+
+UNIFORM = WorkloadProfile(
+    name="uniform", x_size=4096, y_size=4096, flops_per_element=100.0,
+)
+DIVERGENT = WorkloadProfile(
+    name="divergent", x_size=4096, y_size=4096, flops_per_element=100.0,
+    divergence_cv=1.5, divergence_corr_length=32.0,
+)
+
+
+def make_geom(profile, tx=1, ty=1, tz=1, wx=8, wy=4, wz=1):
+    def arr(v):
+        return np.atleast_1d(v)
+    return derive_geometry(
+        profile, arr(tx), arr(ty), arr(tz), arr(wx), arr(wy), arr(wz)
+    )
+
+
+class TestDivergence:
+    def test_uniform_kernel_no_divergence(self):
+        g = make_geom(UNIFORM)
+        eff = divergence_efficiency(UNIFORM, g, np.array([1]), np.array([1]))
+        assert eff[0] == pytest.approx(1.0)
+
+    def test_divergent_kernel_below_one(self):
+        g = make_geom(DIVERGENT, wx=8, wy=4)
+        eff = divergence_efficiency(
+            DIVERGENT, g, np.array([1]), np.array([1])
+        )
+        assert 0.0 < eff[0] < 1.0
+
+    def test_wider_footprint_diverges_more(self):
+        narrow = divergence_efficiency(
+            DIVERGENT, make_geom(DIVERGENT, tx=1, wx=4),
+            np.array([1]), np.array([1]),
+        )
+        wide = divergence_efficiency(
+            DIVERGENT, make_geom(DIVERGENT, tx=16, wx=8),
+            np.array([16]), np.array([1]),
+        )
+        assert wide[0] < narrow[0]
+
+
+class TestIlp:
+    def test_no_coarsening_no_boost(self):
+        assert ilp_factor(make_geom(UNIFORM, tx=1))[0] == pytest.approx(1.0)
+
+    def test_coarsening_boosts_monotonically_then_saturates(self):
+        f2 = ilp_factor(make_geom(UNIFORM, tx=2))[0]
+        f8 = ilp_factor(make_geom(UNIFORM, tx=8))[0]
+        f16 = ilp_factor(make_geom(UNIFORM, tx=16))[0]
+        assert 1.0 < f2 < f8
+        assert f16 == pytest.approx(f8)  # saturation at 8 streams
+
+
+class TestComputeDemand:
+    def test_ideal_flop_count(self):
+        g = make_geom(UNIFORM, wx=8, wy=4)  # divides exactly, full warps
+        d = compute_demand(UNIFORM, g, TITAN_V, np.array([1]), np.array([1]))
+        assert d.effective_flops[0] == pytest.approx(
+            UNIFORM.elements * 100.0
+        )
+
+    def test_partial_warp_inflates(self):
+        full = compute_demand(
+            UNIFORM, make_geom(UNIFORM, wx=8, wy=4), TITAN_V,
+            np.array([1]), np.array([1]),
+        )
+        tiny = compute_demand(
+            UNIFORM, make_geom(UNIFORM, wx=1, wy=1), TITAN_V,
+            np.array([1]), np.array([1]),
+        )
+        assert tiny.effective_flops[0] == pytest.approx(
+            32 * full.effective_flops[0]
+        )
+
+    def test_guard_positions_charged_lightly(self):
+        # wz=8 on a 2-D image: 7/8 of positions are guard-only.
+        g = make_geom(UNIFORM, wz=8, wx=8, wy=4)
+        d = compute_demand(UNIFORM, g, TITAN_V, np.array([1]), np.array([1]))
+        body = UNIFORM.elements * 100.0
+        guard = 7 * UNIFORM.elements * GUARD_FLOPS
+        assert d.effective_flops[0] == pytest.approx(body + guard)
+        # Guard cost is a tiny fraction of doing the work 8x.
+        assert d.effective_flops[0] < 2 * body
+
+    def test_sfu_work_charged_on_slow_pipe(self):
+        sfu = WorkloadProfile(
+            name="sfu", x_size=1024, y_size=1024,
+            flops_per_element=10.0, sfu_per_element=10.0,
+        )
+        g = make_geom(sfu, wx=8, wy=4)
+        d = compute_demand(sfu, g, TITAN_V, np.array([1]), np.array([1]))
+        plain = sfu.elements * 10.0
+        assert d.effective_flops[0] > plain  # SFU adds issue pressure

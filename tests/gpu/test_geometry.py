@@ -1,0 +1,98 @@
+"""Unit tests for launch-geometry derivation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import WorkloadProfile, derive_geometry
+
+PROFILE_2D = WorkloadProfile(name="t", x_size=8192, y_size=8192)
+
+
+def geom(tx=1, ty=1, tz=1, wx=8, wy=4, wz=1, profile=PROFILE_2D):
+    return derive_geometry(
+        profile,
+        np.atleast_1d(tx), np.atleast_1d(ty), np.atleast_1d(tz),
+        np.atleast_1d(wx), np.atleast_1d(wy), np.atleast_1d(wz),
+    )
+
+
+class TestTilesAndGrid:
+    def test_simple_tiling(self):
+        g = geom(tx=2, ty=2, wx=8, wy=4)
+        assert g.tile_x[0] == 16 and g.tile_y[0] == 8
+        assert g.grid_x[0] == 8192 // 16
+        assert g.grid_y[0] == 8192 // 8
+        assert g.block_threads[0] == 32
+        assert g.coarsening[0] == 4
+
+    def test_non_dividing_tile_pads(self):
+        g = geom(tx=3, wx=5)  # tile_x = 15, 8192/15 = 546.13
+        assert g.grid_x[0] == -(-8192 // 15)
+        assert g.padding_factor[0] > 1.0
+
+    def test_exact_division_no_padding(self):
+        g = geom(tx=2, ty=2, wx=8, wy=8)
+        assert g.padding_factor[0] == pytest.approx(1.0)
+        assert g.useful_thread_fraction[0] == pytest.approx(1.0)
+
+    def test_rejects_zero_factors(self):
+        with pytest.raises(ValueError):
+            geom(tx=0)
+
+
+class TestZDimensionFor2DImages:
+    """z-parameters must be nearly free for 2-D kernels (boundary guard)."""
+
+    def test_wgz_dilutes_useful_threads(self):
+        g = geom(wz=8)
+        # Only 1 of 8 z-slices holds real threads.
+        assert g.useful_thread_fraction[0] == pytest.approx(1.0 / 8.0)
+
+    def test_tz_coarsening_padded_but_not_useful(self):
+        g1 = geom(tz=1)
+        g16 = geom(tz=16)
+        # tz padding multiplies guard-only positions...
+        assert g16.padded_elements[0] == 16 * g1.padded_elements[0]
+        # ...but effective per-thread coarsening is unchanged.
+        assert g16.effective_coarsening[0] == g1.effective_coarsening[0]
+
+    def test_effective_coarsening_clipped_by_image(self):
+        g = geom(tx=4, ty=2, tz=16)
+        assert g.effective_coarsening[0] == 8  # 4 * 2 * min(16, 1)
+
+
+class TestWarpLayout:
+    def test_lanes_per_row(self):
+        assert geom(wx=8).lanes_per_row[0] == 8
+        assert geom(wx=4).lanes_per_row[0] == 4
+
+    def test_rows_per_warp_full_block(self):
+        g = geom(wx=8, wy=8)  # 64 threads, warp covers 32: 4 rows of 8
+        assert g.rows_per_warp[0] == 4
+
+    def test_rows_per_warp_small_block(self):
+        g = geom(wx=4, wy=2)  # 8 threads: one warp spans 2 rows
+        assert g.rows_per_warp[0] == 2
+
+    def test_warp_fill(self):
+        assert geom(wx=8, wy=4).warp_fill[0] == pytest.approx(1.0)
+        assert geom(wx=1, wy=1).warp_fill[0] == pytest.approx(1 / 32)
+        assert geom(wx=8, wy=6).warp_fill[0] == pytest.approx(48 / 64)
+
+    @given(
+        st.integers(1, 16), st.integers(1, 16), st.integers(1, 16),
+        st.integers(1, 8), st.integers(1, 8), st.integers(1, 8),
+    )
+    @settings(max_examples=100)
+    def test_invariants(self, tx, ty, tz, wx, wy, wz):
+        g = geom(tx=tx, ty=ty, tz=tz, wx=wx, wy=wy, wz=wz)
+        assert g.padding_factor[0] >= 1.0
+        assert 0.0 < g.useful_thread_fraction[0] <= 1.0
+        assert 0.0 < g.warp_fill[0] <= 1.0
+        assert g.block_threads[0] == wx * wy * wz
+        # Launch covers the whole image.
+        assert g.grid_x[0] * g.tile_x[0] >= PROFILE_2D.x_size
+        assert g.grid_y[0] * g.tile_y[0] >= PROFILE_2D.y_size
+        assert g.padded_elements[0] >= PROFILE_2D.elements

@@ -1,0 +1,110 @@
+"""Unit tests for the memory-hierarchy model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GTX_980, TITAN_V, WorkloadProfile, derive_geometry
+from repro.gpu.memory import coalescing_overfetch, memory_demand
+
+STREAM = WorkloadProfile(
+    name="stream", x_size=4096, y_size=4096,
+    reads_per_element=2.0, writes_per_element=1.0,
+)
+STENCIL = WorkloadProfile(
+    name="stencil", x_size=4096, y_size=4096, stencil_radius=2,
+)
+
+
+def make_geom(profile, tx=1, ty=1, tz=1, wx=8, wy=4, wz=1):
+    return derive_geometry(
+        profile,
+        np.atleast_1d(tx), np.atleast_1d(ty), np.atleast_1d(tz),
+        np.atleast_1d(wx), np.atleast_1d(wy), np.atleast_1d(wz),
+    )
+
+
+class TestCoalescingOverfetch:
+    def test_unit_stride_wide_row_is_perfect(self):
+        # 8 lanes x 4B = 32B = exactly one sector.
+        of = coalescing_overfetch(
+            np.array([8]), np.array([4]), np.array([1]), TITAN_V, 4
+        )
+        assert of[0] == pytest.approx(1.0)
+
+    def test_large_stride_fetches_sector_per_lane(self):
+        # Stride 16 elements: every lane in its own sector: 32B moved for
+        # 4B used = 8x.
+        of = coalescing_overfetch(
+            np.array([8]), np.array([4]), np.array([16]), TITAN_V, 4
+        )
+        assert of[0] == pytest.approx(8.0)
+
+    def test_narrow_row_wastes_sector(self):
+        # 2 lanes x 4B = 8B used but a whole 32B sector moved = 4x.
+        of = coalescing_overfetch(
+            np.array([2]), np.array([16]), np.array([1]), TITAN_V, 4
+        )
+        assert of[0] == pytest.approx(4.0)
+
+    def test_monotone_in_stride(self):
+        strides = np.array([1, 2, 4, 8, 16])
+        of = coalescing_overfetch(
+            np.full(5, 8), np.full(5, 4), strides, TITAN_V, 4
+        )
+        assert np.all(np.diff(of) >= 0)
+
+
+class TestMemoryDemand:
+    def test_ideal_config_close_to_compulsory(self):
+        geom = make_geom(STREAM, tx=1, wx=8, wy=4)
+        demand = memory_demand(STREAM, geom, TITAN_V, np.array([1]))
+        compulsory = STREAM.elements * 3 * 4  # 2 reads + 1 write, 4B each
+        assert demand.total_bytes[0] >= compulsory
+        assert demand.total_bytes[0] < 1.3 * compulsory
+
+    def test_strided_config_moves_more(self):
+        good = memory_demand(
+            STREAM, make_geom(STREAM, tx=1), TITAN_V, np.array([1])
+        )
+        bad = memory_demand(
+            STREAM, make_geom(STREAM, tx=16), TITAN_V, np.array([16])
+        )
+        assert bad.total_bytes[0] > good.total_bytes[0]
+
+    def test_cache_forgiveness_differs_by_arch(self):
+        """Maxwell punishes strided access harder than Volta."""
+        geom = make_geom(STREAM, tx=8)
+        tx = np.array([8])
+        maxwell = memory_demand(STREAM, geom, GTX_980, tx)
+        volta = memory_demand(STREAM, geom, TITAN_V, tx)
+        assert maxwell.read_overfetch[0] > volta.read_overfetch[0]
+
+    def test_write_overfetch_softer_than_read(self):
+        geom = make_geom(STREAM, tx=16)
+        d = memory_demand(STREAM, geom, TITAN_V, np.array([16]))
+        assert d.write_overfetch[0] < d.read_overfetch[0]
+        assert d.write_overfetch[0] >= 1.0
+
+    def test_stencil_amplification_shrinks_with_tile(self):
+        small = memory_demand(
+            STENCIL, make_geom(STENCIL, wx=4, wy=2), TITAN_V, np.array([1])
+        )
+        large = memory_demand(
+            STENCIL, make_geom(STENCIL, wx=8, wy=8, ty=4), TITAN_V,
+            np.array([1]),
+        )
+        assert large.stencil_amplification[0] < small.stencil_amplification[0]
+        assert small.stencil_amplification[0] > 1.0
+
+    def test_non_stencil_amplification_is_one(self):
+        d = memory_demand(
+            STREAM, make_geom(STREAM), TITAN_V, np.array([1])
+        )
+        assert d.stencil_amplification[0] == pytest.approx(1.0)
+
+    def test_vectorized_shapes(self):
+        txs = np.array([1, 2, 4, 8])
+        geom = make_geom(STREAM, tx=txs, wx=np.full(4, 8))
+        d = memory_demand(STREAM, geom, TITAN_V, txs)
+        assert d.total_bytes.shape == (4,)
+        assert np.all(d.total_bytes > 0)

@@ -1,0 +1,80 @@
+"""Unit tests for the measurement-noise model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import DEFAULT_NOISE, NOISELESS, NoiseModel
+
+
+class TestNoiseModel:
+    def test_noiseless_identity(self):
+        true = np.array([1.0, 2.0, 3.0])
+        out = NOISELESS.apply(true, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, true)
+
+    def test_noise_changes_values(self):
+        true = np.full(100, 5.0)
+        out = DEFAULT_NOISE.apply(true, np.random.default_rng(0))
+        assert not np.allclose(out, true)
+        assert np.all(out > 0)
+
+    def test_inf_passthrough(self):
+        true = np.array([1.0, np.inf, 2.0])
+        out = DEFAULT_NOISE.apply(true, np.random.default_rng(0))
+        assert np.isinf(out[1])
+        assert np.isfinite(out[0]) and np.isfinite(out[2])
+
+    def test_reproducible_with_seed(self):
+        true = np.ones(50)
+        a = DEFAULT_NOISE.apply(true, np.random.default_rng(42))
+        b = DEFAULT_NOISE.apply(true, np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+    def test_right_skew(self):
+        """Spikes make the distribution right-skewed (non-Gaussian), as the
+        paper observed of its sample populations (Section V-A)."""
+        true = np.ones(50_000)
+        out = NoiseModel(sigma=0.04, spike_probability=0.05,
+                         spike_magnitude=0.5).apply(
+            true, np.random.default_rng(0)
+        )
+        mean, median = out.mean(), np.median(out)
+        assert mean > median  # right skew
+
+    def test_spike_magnitude_bounds(self):
+        true = np.ones(50_000)
+        out = NoiseModel(sigma=0.0, spike_probability=0.5,
+                         spike_magnitude=0.5).apply(
+            true, np.random.default_rng(0)
+        )
+        assert out.max() <= 1.5
+        assert out.min() >= 1.0
+
+    def test_sigma_controls_spread(self):
+        true = np.ones(20_000)
+        rng = np.random.default_rng
+        narrow = NoiseModel(sigma=0.01, spike_probability=0).apply(
+            true, rng(0)
+        )
+        wide = NoiseModel(sigma=0.10, spike_probability=0).apply(
+            true, rng(0)
+        )
+        assert wide.std() > 5 * narrow.std()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(sigma=-0.1)
+        with pytest.raises(ValueError):
+            NoiseModel(spike_probability=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(spike_magnitude=-1.0)
+
+    def test_empty_input(self):
+        out = DEFAULT_NOISE.apply(np.array([]), np.random.default_rng(0))
+        assert out.size == 0
+
+    def test_all_inf_input(self):
+        out = DEFAULT_NOISE.apply(
+            np.array([np.inf, np.inf]), np.random.default_rng(0)
+        )
+        assert np.all(np.isinf(out))

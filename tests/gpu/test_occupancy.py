@@ -1,0 +1,104 @@
+"""Unit tests for the occupancy calculator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import TITAN_V, compute_occupancy
+from repro.gpu.occupancy import warps_per_block
+
+
+class TestWarpsPerBlock:
+    def test_exact_multiples(self):
+        np.testing.assert_array_equal(
+            warps_per_block(np.array([32, 64, 256]), 32), [1, 2, 8]
+        )
+
+    def test_partial_warps_round_up(self):
+        np.testing.assert_array_equal(
+            warps_per_block(np.array([1, 31, 33]), 32), [1, 1, 2]
+        )
+
+
+def occ(block=256, regs=32.0, smem=0.0, arch=TITAN_V):
+    return compute_occupancy(
+        arch,
+        np.atleast_1d(block),
+        np.atleast_1d(regs),
+        np.atleast_1d(smem),
+    )
+
+
+class TestLimits:
+    def test_full_occupancy_small_footprint(self):
+        # 256-thread blocks, 32 regs: 8 blocks of 8 warps = 64 warps = max.
+        r = occ(block=256, regs=32.0)
+        assert r.occupancy[0] == pytest.approx(1.0)
+        assert not r.launch_failure[0]
+
+    def test_register_limited(self):
+        # 256 regs/thread would exceed the cap -> clamped to 255; limit is
+        # then 65536 / (255*256) = 1 block.
+        r = occ(block=256, regs=255.0)
+        assert r.blocks_per_sm[0] == 1
+        assert r.occupancy[0] == pytest.approx(8 / 64)
+
+    def test_register_demand_above_cap_spills_not_fails(self):
+        r = occ(block=256, regs=1000.0)
+        assert not r.launch_failure[0]
+        assert r.blocks_per_sm[0] >= 1
+
+    def test_block_slot_limited(self):
+        # Tiny 1-thread blocks: limited by max_blocks_per_sm (32), not
+        # threads.
+        r = occ(block=1, regs=32.0)
+        assert r.blocks_per_sm[0] == TITAN_V.max_blocks_per_sm
+        # 32 blocks x 1 warp = 32 warps of 64.
+        assert r.occupancy[0] == pytest.approx(0.5)
+
+    def test_thread_slot_limited_counts_whole_warps(self):
+        # 33-thread blocks occupy 2 warps (64 thread slots) each.
+        r = occ(block=33, regs=32.0)
+        assert r.blocks_per_sm[0] == TITAN_V.max_threads_per_sm // 64
+
+    def test_shared_memory_limited(self):
+        smem = TITAN_V.shared_mem_per_sm_bytes / 4.0
+        r = occ(block=64, regs=32.0, smem=smem)
+        assert r.blocks_per_sm[0] == 4
+
+    def test_shared_memory_over_block_limit_fails(self):
+        r = occ(block=64, regs=32.0,
+                smem=TITAN_V.shared_mem_per_block_bytes + 1)
+        assert r.launch_failure[0]
+        assert r.blocks_per_sm[0] == 0
+
+    def test_block_too_large_fails(self):
+        r = occ(block=TITAN_V.max_threads_per_block + 1, regs=32.0)
+        assert r.launch_failure[0]
+        assert r.occupancy[0] == 0.0
+
+    def test_vectorized_batch(self):
+        blocks = np.array([1, 32, 256, 512])
+        r = occ(block=blocks, regs=32.0)
+        assert r.occupancy.shape == (4,)
+        assert r.launch_failure[3]  # 512 > 256 limit
+        assert not r.launch_failure[:3].any()
+
+    @given(
+        st.integers(1, 256),
+        st.floats(8.0, 255.0),
+    )
+    @settings(max_examples=50)
+    def test_invariants(self, block, regs):
+        r = occ(block=block, regs=regs)
+        assert 0.0 <= r.occupancy[0] <= 1.0
+        assert r.warps_per_sm[0] <= TITAN_V.max_warps_per_sm
+        assert r.blocks_per_sm[0] <= TITAN_V.max_blocks_per_sm
+
+    @given(st.integers(1, 256))
+    @settings(max_examples=30)
+    def test_monotone_in_registers(self, block):
+        lo = occ(block=block, regs=16.0)
+        hi = occ(block=block, regs=128.0)
+        assert hi.blocks_per_sm[0] <= lo.blocks_per_sm[0]

@@ -1,0 +1,87 @@
+"""Unit tests for the deterministic ruggedness term."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.ruggedness import ruggedness_factor, standard_normal_hash
+
+
+def random_configs(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.column_stack(
+        [
+            rng.integers(1, 17, n), rng.integers(1, 17, n),
+            rng.integers(1, 17, n), rng.integers(1, 9, n),
+            rng.integers(1, 9, n), rng.integers(1, 9, n),
+        ]
+    )
+
+
+class TestStandardNormalHash:
+    def test_deterministic(self):
+        cfgs = random_configs(100)
+        a = standard_normal_hash(cfgs, "k/arch")
+        b = standard_normal_hash(cfgs, "k/arch")
+        np.testing.assert_array_equal(a, b)
+
+    def test_order_independent(self):
+        """Counter-based: any subset in any order gives identical values."""
+        cfgs = random_configs(100)
+        full = standard_normal_hash(cfgs, "k")
+        perm = np.random.default_rng(1).permutation(100)
+        shuffled = standard_normal_hash(cfgs[perm], "k")
+        np.testing.assert_array_equal(full[perm], shuffled)
+
+    def test_key_changes_landscape(self):
+        cfgs = random_configs(200)
+        a = standard_normal_hash(cfgs, "harris/titan_v")
+        b = standard_normal_hash(cfgs, "harris/gtx_980")
+        assert not np.allclose(a, b)
+
+    def test_approximately_standard_normal(self):
+        cfgs = random_configs(20000)
+        z = standard_normal_hash(cfgs, "k")
+        assert abs(z.mean()) < 0.05
+        assert abs(z.std() - 1.0) < 0.05
+        # Roughly symmetric tails.
+        assert 0.1 < (z > 1.0).mean() / 0.1587 < 1.9
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            standard_normal_hash(np.array([1, 2, 3]), "k")
+
+    def test_single_column_change_decorrelates(self):
+        cfgs = random_configs(5000)
+        z0 = standard_normal_hash(cfgs, "k")
+        bumped = cfgs.copy()
+        bumped[:, 0] = (bumped[:, 0] % 16) + 1
+        z1 = standard_normal_hash(bumped, "k")
+        assert abs(np.corrcoef(z0, z1)[0, 1]) < 0.05
+
+
+class TestRuggednessFactor:
+    def test_zero_sigma_is_identity(self):
+        cfgs = random_configs(50)
+        np.testing.assert_array_equal(
+            ruggedness_factor(cfgs, "k", 0.0, 0.0), np.ones(50)
+        )
+
+    def test_asymmetric_bounds(self):
+        cfgs = random_configs(20000)
+        f = ruggedness_factor(cfgs, "k", sigma_slow=0.3, sigma_fast=0.05)
+        # Slowdowns can be large, speedups bounded by the small sigma.
+        assert f.max() > 1.5
+        assert f.min() > np.exp(-0.05 * 6)  # ~6 sigma floor
+        assert f.min() < 1.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            ruggedness_factor(random_configs(5), "k", -0.1)
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 0.2))
+    @settings(max_examples=20)
+    def test_always_positive(self, s_slow, s_fast):
+        f = ruggedness_factor(random_configs(100), "k", s_slow, s_fast)
+        assert np.all(f > 0)

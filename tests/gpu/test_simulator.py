@@ -1,0 +1,132 @@
+"""Unit and property tests for the composed GPU performance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import (
+    GTX_980,
+    RTX_TITAN,
+    TITAN_V,
+    simulate_runtimes,
+)
+from repro.kernels import get_kernel
+
+ADD = get_kernel("add").profile()
+HARRIS = get_kernel("harris").profile()
+MANDEL = get_kernel("mandelbrot").profile()
+
+GOOD = np.array([[1, 1, 1, 8, 4, 1]])
+TINY_BLOCK = np.array([[1, 1, 1, 1, 1, 1]])
+OVER_LIMIT = np.array([[1, 1, 1, 8, 8, 8]])  # wg product 512 > 256
+
+
+config_strategy = st.tuples(
+    st.integers(1, 16), st.integers(1, 16), st.integers(1, 16),
+    st.integers(1, 8), st.integers(1, 8), st.integers(1, 8),
+)
+
+
+class TestBasics:
+    def test_runtime_positive_and_finite_for_valid_config(self):
+        r = simulate_runtimes(ADD, TITAN_V, GOOD)
+        assert np.isfinite(r.runtime_ms[0])
+        assert r.runtime_ms[0] > 0
+
+    def test_deterministic(self):
+        a = simulate_runtimes(ADD, TITAN_V, GOOD).runtime_ms
+        b = simulate_runtimes(ADD, TITAN_V, GOOD).runtime_ms
+        np.testing.assert_array_equal(a, b)
+
+    def test_over_workgroup_limit_fails(self):
+        r = simulate_runtimes(ADD, TITAN_V, OVER_LIMIT)
+        assert r.launch_failure[0]
+        assert np.isinf(r.runtime_ms[0])
+
+    def test_1d_row_accepted(self):
+        r = simulate_runtimes(ADD, TITAN_V, GOOD[0])
+        assert r.runtime_ms.shape == (1,)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_runtimes(ADD, TITAN_V, np.ones((3, 5), dtype=int))
+
+    def test_batch_matches_scalar(self):
+        batch = np.vstack([GOOD, TINY_BLOCK])
+        r_batch = simulate_runtimes(ADD, TITAN_V, batch).runtime_ms
+        r0 = simulate_runtimes(ADD, TITAN_V, GOOD).runtime_ms[0]
+        r1 = simulate_runtimes(ADD, TITAN_V, TINY_BLOCK).runtime_ms[0]
+        assert r_batch[0] == pytest.approx(r0)
+        assert r_batch[1] == pytest.approx(r1)
+
+
+class TestPhysicalSanity:
+    def test_add_is_memory_bound_at_good_config(self):
+        r = simulate_runtimes(ADD, TITAN_V, GOOD)
+        assert r.memory_time_ms[0] > r.compute_time_ms[0]
+
+    def test_mandelbrot_is_compute_bound(self):
+        r = simulate_runtimes(MANDEL, TITAN_V, GOOD)
+        assert r.compute_time_ms[0] > r.memory_time_ms[0]
+
+    def test_add_roofline_bound(self):
+        """The good Add config cannot beat the bandwidth roofline."""
+        r = simulate_runtimes(ADD, TITAN_V, GOOD)
+        compulsory_gb = ADD.elements * 3 * 4 / 1e9
+        floor_ms = compulsory_gb / TITAN_V.dram_bandwidth_gbs * 1e3
+        assert r.runtime_ms[0] >= floor_ms
+
+    def test_newer_archs_faster_on_good_config(self):
+        old = simulate_runtimes(ADD, GTX_980, GOOD).runtime_ms[0]
+        volta = simulate_runtimes(ADD, TITAN_V, GOOD).runtime_ms[0]
+        turing = simulate_runtimes(ADD, RTX_TITAN, GOOD).runtime_ms[0]
+        assert volta < old
+        assert turing < old
+
+    def test_tiny_blocks_much_slower(self):
+        good = simulate_runtimes(HARRIS, TITAN_V, GOOD).runtime_ms[0]
+        tiny = simulate_runtimes(HARRIS, TITAN_V, TINY_BLOCK).runtime_ms[0]
+        assert tiny > 5 * good
+
+    def test_launch_overhead_floor(self):
+        small = get_kernel("add", 64, 64).profile()
+        r = simulate_runtimes(small, TITAN_V, GOOD)
+        assert r.runtime_ms[0] >= TITAN_V.launch_overhead_us * 1e-3
+
+    def test_optima_differ_across_architectures(self):
+        """The cross-architecture comparison is only meaningful if optima
+        move between devices."""
+        rng = np.random.default_rng(0)
+        cfgs = np.column_stack(
+            [
+                rng.integers(1, 17, 4000), rng.integers(1, 17, 4000),
+                rng.integers(1, 17, 4000), rng.integers(1, 9, 4000),
+                rng.integers(1, 9, 4000), rng.integers(1, 9, 4000),
+            ]
+        )
+        best = {}
+        for arch in (GTX_980, TITAN_V, RTX_TITAN):
+            rt = simulate_runtimes(HARRIS, arch, cfgs).runtime_ms
+            order = np.argsort(rt)
+            best[arch.codename] = set(map(tuple, cfgs[order[:20]]))
+        # Top-20 sets must not be identical across all three.
+        assert (
+            best["gtx_980"] != best["titan_v"]
+            or best["titan_v"] != best["rtx_titan"]
+        )
+
+    @given(config_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_runtime_invariants(self, cfg):
+        row = np.array([cfg])
+        r = simulate_runtimes(HARRIS, TITAN_V, row)
+        wg_product = cfg[3] * cfg[4] * cfg[5]
+        if wg_product > 256:
+            assert r.launch_failure[0]
+            assert np.isinf(r.runtime_ms[0])
+        else:
+            assert not r.launch_failure[0]
+            assert np.isfinite(r.runtime_ms[0])
+            assert r.runtime_ms[0] > 0
+            assert 0.0 <= r.occupancy[0] <= 1.0

@@ -1,0 +1,70 @@
+"""Unit tests for workload profiles."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import WorkloadProfile
+
+
+class TestValidation:
+    def test_minimal_valid(self):
+        p = WorkloadProfile(name="t", x_size=64, y_size=64)
+        assert p.elements == 64 * 64
+        assert p.is_2d
+
+    def test_3d_profile(self):
+        p = WorkloadProfile(name="t", x_size=8, y_size=8, z_size=4)
+        assert p.elements == 256
+        assert not p.is_2d
+
+    def test_rejects_zero_sizes(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="t", x_size=0, y_size=8)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="t", x_size=8, y_size=8,
+                            flops_per_element=-1.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="t", x_size=8, y_size=8,
+                            ruggedness_sigma_slow=-0.1)
+
+    def test_rejects_negative_stencil(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="t", x_size=8, y_size=8, stencil_radius=-1)
+
+
+class TestDerived:
+    def test_arithmetic_intensity_streaming(self):
+        p = WorkloadProfile(
+            name="t", x_size=8, y_size=8,
+            reads_per_element=2.0, writes_per_element=1.0,
+            flops_per_element=1.0,
+        )
+        assert p.arithmetic_intensity() == pytest.approx(1.0 / 12.0)
+
+    def test_arithmetic_intensity_stencil_uses_unique_reads(self):
+        p = WorkloadProfile(
+            name="t", x_size=8, y_size=8, stencil_radius=2,
+            reads_per_element=9.0, writes_per_element=1.0,
+            flops_per_element=90.0,
+        )
+        # Ideal reuse: 1 read + 1 write per element = 8 bytes.
+        assert p.arithmetic_intensity() == pytest.approx(90.0 / 8.0)
+
+    def test_register_pressure_baseline(self):
+        p = WorkloadProfile(name="t", x_size=8, y_size=8,
+                            base_registers=30.0, registers_per_element=5.0)
+        np.testing.assert_allclose(
+            p.register_pressure(np.array([1])), [30.0]
+        )
+
+    def test_register_pressure_sublinear_growth(self):
+        p = WorkloadProfile(name="t", x_size=8, y_size=8,
+                            base_registers=30.0, registers_per_element=5.0)
+        r = p.register_pressure(np.array([1, 2, 4, 8, 16]))
+        assert np.all(np.diff(r) > 0)  # monotone
+        # Sub-linear: doubling coarsening less than doubles the increment.
+        inc1 = r[1] - r[0]
+        inc4 = r[4] - r[3]
+        assert inc4 < 8 * inc1

@@ -1,0 +1,180 @@
+"""Tests for the mini-ImageCL tokenizer and parser."""
+
+import pytest
+
+from repro.imagecl import ImageClSyntaxError, parse_kernel
+from repro.imagecl.ast import (
+    Binary,
+    Call,
+    Declare,
+    ImageRead,
+    ImageWrite,
+    Number,
+    Ternary,
+)
+
+COPY = """
+kernel copy(image in float src, image out float dst) {
+    dst[x, y] = src[x, y];
+}
+"""
+
+
+class TestSignatures:
+    def test_images_and_directions(self):
+        k = parse_kernel(COPY)
+        assert k.name == "copy"
+        assert k.input_images() == ["src"]
+        assert k.output_images() == ["dst"]
+
+    def test_scalar_parameters(self):
+        k = parse_kernel("""
+            kernel scale(image in float a, image out float b, float f) {
+                b[x, y] = a[x, y] * f;
+            }
+        """)
+        assert [s.name for s in k.scalars] == ["f"]
+
+    def test_multiple_inputs(self):
+        k = parse_kernel("""
+            kernel add(image in float a, image in float b,
+                       image out float c) {
+                c[x, y] = a[x, y] + b[x, y];
+            }
+        """)
+        assert k.input_images() == ["a", "b"]
+
+    def test_missing_output_rejected(self):
+        with pytest.raises(ImageClSyntaxError, match="no output"):
+            parse_kernel("""
+                kernel bad(image in float a) { float t = a[x, y]; }
+            """)
+
+    def test_reserved_names_rejected(self):
+        with pytest.raises(ImageClSyntaxError, match="shadows"):
+            parse_kernel("""
+                kernel bad(image in float x, image out float d) {
+                    d[x, y] = x[x, y];
+                }
+            """)
+
+
+class TestStatements:
+    def test_declare_and_assign(self):
+        k = parse_kernel("""
+            kernel t(image in float a, image out float b) {
+                float v = a[x, y];
+                v = v * 2.0;
+                b[x, y] = v;
+            }
+        """)
+        assert isinstance(k.body[0], Declare)
+        assert isinstance(k.body[2], ImageWrite)
+
+    def test_redeclaration_rejected(self):
+        with pytest.raises(ImageClSyntaxError, match="redeclaration"):
+            parse_kernel("""
+                kernel t(image in float a, image out float b) {
+                    float v = 1.0;
+                    float v = 2.0;
+                    b[x, y] = v;
+                }
+            """)
+
+    def test_undeclared_assignment_rejected(self):
+        with pytest.raises(ImageClSyntaxError, match="undeclared"):
+            parse_kernel("""
+                kernel t(image in float a, image out float b) {
+                    v = 1.0;
+                    b[x, y] = v;
+                }
+            """)
+
+    def test_offset_write_rejected(self):
+        with pytest.raises(ImageClSyntaxError, match="writes must target"):
+            parse_kernel("""
+                kernel t(image in float a, image out float b) {
+                    b[x + 1, y] = a[x, y];
+                }
+            """)
+
+    def test_never_writing_rejected(self):
+        with pytest.raises(ImageClSyntaxError, match="never writes"):
+            parse_kernel("""
+                kernel t(image in float a, image out float b) {
+                    float v = a[x, y];
+                }
+            """)
+
+
+class TestExpressions:
+    def kernel_with(self, expr: str):
+        return parse_kernel(f"""
+            kernel t(image in float a, image out float b) {{
+                b[x, y] = {expr};
+            }}
+        """)
+
+    def test_precedence(self):
+        k = self.kernel_with("1.0 + 2.0 * 3.0")
+        root = k.body[0].value
+        assert isinstance(root, Binary) and root.op == "+"
+        assert isinstance(root.right, Binary) and root.right.op == "*"
+
+    def test_parentheses(self):
+        k = self.kernel_with("(1.0 + 2.0) * 3.0")
+        root = k.body[0].value
+        assert root.op == "*"
+        assert isinstance(root.left, Binary) and root.left.op == "+"
+
+    def test_image_offsets(self):
+        k = self.kernel_with("a[x + 2, y - 1]")
+        read = k.body[0].value
+        assert isinstance(read, ImageRead)
+        assert (read.dx, read.dy) == (2, -1)
+
+    def test_builtin_calls(self):
+        k = self.kernel_with("max(a[x, y], 0.0)")
+        call = k.body[0].value
+        assert isinstance(call, Call) and call.func == "max"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ImageClSyntaxError, match="unknown function"):
+            self.kernel_with("sin(a[x, y])")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ImageClSyntaxError, match="argument"):
+            self.kernel_with("sqrt(a[x, y], 2.0)")
+
+    def test_ternary(self):
+        k = self.kernel_with("a[x, y] > 0.5 ? 1.0 : 0.0")
+        assert isinstance(k.body[0].value, Ternary)
+
+    def test_bare_image_rejected(self):
+        with pytest.raises(ImageClSyntaxError, match="without"):
+            self.kernel_with("a")
+
+    def test_unknown_identifier_rejected(self):
+        with pytest.raises(ImageClSyntaxError, match="unknown identifier"):
+            self.kernel_with("q + 1.0")
+
+    def test_swapped_axes_rejected(self):
+        with pytest.raises(ImageClSyntaxError, match="x"):
+            self.kernel_with("a[y, x]")
+
+    def test_fractional_offset_rejected(self):
+        with pytest.raises(ImageClSyntaxError, match="integer"):
+            self.kernel_with("a[x + 1.5, y]")
+
+    def test_error_reports_position(self):
+        with pytest.raises(ImageClSyntaxError, match=r"line \d+:\d+"):
+            parse_kernel("kernel t( {")
+
+    def test_comments_skipped(self):
+        k = parse_kernel("""
+            // a copy kernel
+            kernel t(image in float a, image out float b) {
+                b[x, y] = a[x, y];  // identity
+            }
+        """)
+        assert k.name == "t"

@@ -1,0 +1,55 @@
+"""Unit tests for the Add benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import AddKernel, get_kernel
+
+
+@pytest.fixture
+def kernel():
+    return AddKernel(x_size=128, y_size=64)
+
+
+class TestSemantics:
+    def test_reference_is_elementwise_sum(self, kernel):
+        rng = np.random.default_rng(0)
+        inputs = kernel.make_inputs(rng)
+        out = kernel.reference(inputs)
+        np.testing.assert_allclose(out, inputs["a"] + inputs["b"])
+
+    def test_inputs_shape_and_dtype(self, kernel):
+        inputs = kernel.make_inputs(np.random.default_rng(0))
+        assert inputs["a"].shape == (64, 128)
+        assert inputs["a"].dtype == np.float32
+        assert set(inputs) == {"a", "b"}
+
+    def test_shape_mismatch_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.reference(
+                {"a": np.zeros((4, 4), np.float32),
+                 "b": np.zeros((4, 5), np.float32)}
+            )
+
+
+class TestProfile:
+    def test_memory_bound_characterization(self, kernel):
+        p = kernel.profile()
+        # 1 FLOP vs 12 bytes: deeply memory bound.
+        assert p.arithmetic_intensity() < 0.5
+        assert p.reads_per_element == 2.0
+        assert p.writes_per_element == 1.0
+        assert p.divergence_cv == 0.0
+        assert p.stencil_radius == 0
+
+    def test_profile_matches_problem_size(self, kernel):
+        p = kernel.profile()
+        assert (p.x_size, p.y_size) == (128, 64)
+
+    def test_registry(self):
+        k = get_kernel("add", 256, 256)
+        assert isinstance(k, AddKernel)
+        assert k.shape == (256, 256)
+
+    def test_space_is_papers(self, kernel):
+        assert kernel.space().size == 2_097_152

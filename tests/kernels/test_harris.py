@@ -1,0 +1,114 @@
+"""Unit tests for the Harris corner-detection benchmark.
+
+The reference implementation is validated against an independent
+brute-force (per-pixel loop) implementation on small images.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import HarrisKernel, box_filter_3x3, sobel_gradients
+from repro.kernels.harris import HARRIS_K
+
+
+def brute_force_harris(img: np.ndarray) -> np.ndarray:
+    """Direct per-pixel Harris response with edge replication."""
+    h, w = img.shape
+    padded = np.pad(img, 1, mode="edge")
+    ix = np.zeros_like(img)
+    iy = np.zeros_like(img)
+    sx = np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], dtype=np.float32)
+    for r in range(h):
+        for c in range(w):
+            win = padded[r : r + 3, c : c + 3]
+            ix[r, c] = (win * sx).sum()
+            iy[r, c] = (win * sx.T).sum()
+    sxx = np.zeros_like(img)
+    syy = np.zeros_like(img)
+    sxy = np.zeros_like(img)
+    pxx = np.pad(ix * ix, 1, mode="edge")
+    pyy = np.pad(iy * iy, 1, mode="edge")
+    pxy = np.pad(ix * iy, 1, mode="edge")
+    for r in range(h):
+        for c in range(w):
+            sxx[r, c] = pxx[r : r + 3, c : c + 3].sum()
+            syy[r, c] = pyy[r : r + 3, c : c + 3].sum()
+            sxy[r, c] = pxy[r : r + 3, c : c + 3].sum()
+    det = sxx * syy - sxy * sxy
+    trace = sxx + syy
+    return det - HARRIS_K * trace * trace
+
+
+class TestFilters:
+    def test_sobel_on_linear_ramp(self):
+        """A horizontal ramp has constant Ix = 8 (Sobel gain) and Iy = 0."""
+        img = np.tile(np.arange(16, dtype=np.float32), (8, 1))
+        ix, iy = sobel_gradients(img)
+        np.testing.assert_allclose(ix[:, 1:-1], 8.0)
+        np.testing.assert_allclose(iy, 0.0, atol=1e-5)
+
+    def test_sobel_transpose_symmetry(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((12, 12), dtype=np.float32)
+        ix, iy = sobel_gradients(img)
+        ix_t, iy_t = sobel_gradients(img.T.copy())
+        np.testing.assert_allclose(iy, ix_t.T, atol=1e-4)
+        np.testing.assert_allclose(ix, iy_t.T, atol=1e-4)
+
+    def test_box_filter_constant(self):
+        img = np.full((8, 8), 2.0, dtype=np.float32)
+        np.testing.assert_allclose(box_filter_3x3(img), 18.0)
+
+    def test_box_filter_interior_sum(self):
+        rng = np.random.default_rng(1)
+        img = rng.random((8, 8), dtype=np.float32)
+        out = box_filter_3x3(img)
+        expected = img[2:5, 2:5].sum()
+        assert out[3, 3] == pytest.approx(expected, rel=1e-5)
+
+
+class TestHarrisReference:
+    def test_matches_brute_force(self):
+        kernel = HarrisKernel(x_size=16, y_size=12)
+        rng = np.random.default_rng(2)
+        img = kernel.make_inputs(rng)["image"]
+        fast = kernel.reference({"image": img})
+        slow = brute_force_harris(img)
+        np.testing.assert_allclose(fast, slow, rtol=1e-3, atol=1e-3)
+
+    def test_constant_image_zero_response(self):
+        kernel = HarrisKernel(x_size=16, y_size=16)
+        img = np.full((16, 16), 3.0, dtype=np.float32)
+        np.testing.assert_allclose(
+            kernel.reference({"image": img}), 0.0, atol=1e-3
+        )
+
+    def test_corner_scores_high(self):
+        """A bright quadrant corner must out-score edges and flat areas."""
+        kernel = HarrisKernel(x_size=32, y_size=32)
+        img = np.zeros((32, 32), dtype=np.float32)
+        img[16:, 16:] = 1.0
+        resp = kernel.reference({"image": img})
+        corner = resp[16, 16]
+        flat = resp[4, 4]
+        edge = resp[4, 16]  # vertical edge far from the corner
+        assert corner > 10 * abs(flat)
+        assert corner > edge
+
+    def test_rejects_3d_input(self):
+        kernel = HarrisKernel(x_size=8, y_size=8)
+        with pytest.raises(ValueError):
+            kernel.reference({"image": np.zeros((8, 8, 3), np.float32)})
+
+
+class TestProfile:
+    def test_stencil_characterization(self):
+        p = HarrisKernel(x_size=64, y_size=64).profile()
+        assert p.stencil_radius == 2
+        assert p.flops_per_element > 50
+        assert p.divergence_cv == 0.0
+        # Harris carries the suite's heaviest register pressure.
+        add_p = __import__("repro.kernels", fromlist=["AddKernel"]).AddKernel(
+            64, 64
+        ).profile()
+        assert p.base_registers > add_p.base_registers

@@ -1,0 +1,94 @@
+"""Unit tests for the Mandelbrot benchmark, including divergence
+calibration checks against the actual escape-time field."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import MandelbrotKernel, iteration_statistics
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return MandelbrotKernel(x_size=256, y_size=256, max_iter=256)
+
+
+class TestSemantics:
+    def test_known_interior_point_maxes_out(self):
+        """c = 0 is in the set: its pixel reaches max_iter."""
+        k = MandelbrotKernel(
+            x_size=65, y_size=65, max_iter=64, view=(-1.0, 1.0, -1.0, 1.0)
+        )
+        counts = k.reference({})
+        # Center pixel is c = 0 + 0j.
+        assert counts[32, 32] == 64
+
+    def test_known_exterior_point_escapes_fast(self):
+        k = MandelbrotKernel(
+            x_size=65, y_size=65, max_iter=64, view=(1.5, 2.5, 1.5, 2.5)
+        )
+        counts = k.reference({})
+        assert counts.max() < 5  # far outside: immediate escape
+
+    def test_counts_bounded(self, kernel):
+        counts = kernel.reference({})
+        assert counts.min() >= 0
+        assert counts.max() <= kernel.max_iter
+
+    def test_symmetry_about_real_axis(self):
+        """The set is conjugate-symmetric; a symmetric viewport gives a
+        symmetric image."""
+        k = MandelbrotKernel(
+            x_size=64, y_size=65, max_iter=64,
+            view=(-2.0, 0.5, -1.25, 1.25),
+        )
+        counts = k.reference({})
+        np.testing.assert_array_equal(counts, counts[::-1, :])
+
+    def test_resolution_independence_of_structure(self, kernel):
+        """Downsampled high-res rendering matches low-res rendering."""
+        lo = kernel.iteration_counts(64, 64)
+        hi = kernel.iteration_counts(256, 256)
+        # Same viewport: coarse statistics agree.
+        assert abs(float(lo.mean()) - float(hi.mean())) < 0.15 * hi.mean()
+
+    def test_no_inputs_needed(self, kernel):
+        assert kernel.make_inputs(np.random.default_rng(0)) == {}
+
+    def test_invalid_max_iter(self):
+        with pytest.raises(ValueError):
+            MandelbrotKernel(x_size=8, y_size=8, max_iter=0)
+
+
+class TestDivergenceCalibration:
+    """The profile's divergence parameters must reflect the real field."""
+
+    def test_iteration_statistics_sane(self, kernel):
+        stats = iteration_statistics(kernel, resolution=128)
+        assert stats.mean > 10
+        assert stats.cv > 0.5  # strongly divergent workload
+        assert stats.correlation_length > 0
+
+    def test_profile_cv_matches_measured(self):
+        k = MandelbrotKernel()  # paper-size viewport
+        stats = iteration_statistics(k, resolution=256)
+        profile_cv = k.profile().divergence_cv
+        assert profile_cv == pytest.approx(stats.cv, rel=0.35)
+
+    def test_profile_flops_match_measured_mean(self):
+        from repro.kernels.mandelbrot import FLOPS_PER_ITERATION
+
+        k = MandelbrotKernel()
+        stats = iteration_statistics(k, resolution=256)
+        expected = FLOPS_PER_ITERATION * stats.mean
+        assert k.profile().flops_per_element == pytest.approx(
+            expected, rel=0.35
+        )
+
+
+class TestProfile:
+    def test_compute_bound_characterization(self, kernel):
+        p = kernel.profile()
+        assert p.reads_per_element == 0.0
+        assert p.writes_per_element == 1.0
+        assert p.flops_per_element > 100
+        assert p.divergence_cv > 1.0

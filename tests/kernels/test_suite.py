@@ -1,0 +1,45 @@
+"""Unit tests for the kernel suite registry."""
+
+import pytest
+
+from repro.kernels import (
+    KERNEL_TYPES,
+    PAPER_IMAGE_SIZE,
+    PAPER_KERNEL_NAMES,
+    get_kernel,
+    paper_suite,
+)
+
+
+class TestRegistry:
+    def test_three_paper_kernels(self):
+        assert PAPER_KERNEL_NAMES == ("add", "harris", "mandelbrot")
+        assert set(PAPER_KERNEL_NAMES) <= set(KERNEL_TYPES)
+
+    def test_get_kernel_default_size_is_papers(self):
+        k = get_kernel("add")
+        assert k.x_size == k.y_size == PAPER_IMAGE_SIZE == 8192
+
+    def test_get_kernel_custom_size(self):
+        k = get_kernel("harris", 128, 256)
+        assert k.shape == (256, 128)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError, match="sobel"):
+            get_kernel("sobel")
+
+    def test_paper_suite_complete(self):
+        suite = paper_suite()
+        assert [k.name for k in suite] == list(PAPER_KERNEL_NAMES)
+        assert all(k.x_size == PAPER_IMAGE_SIZE for k in suite)
+
+    def test_profiles_named_after_kernels(self):
+        for k in paper_suite():
+            assert k.profile().name == k.name
+
+    def test_profiles_span_roofline_regimes(self):
+        """Suite design: one memory-bound, one intermediate, one
+        compute-bound kernel (what makes the comparison interesting)."""
+        by_name = {k.name: k.profile() for k in paper_suite()}
+        ai = {n: p.arithmetic_intensity() for n, p in by_name.items()}
+        assert ai["add"] < ai["harris"] < ai["mandelbrot"]

@@ -1,0 +1,81 @@
+"""Unit tests for feature/target transforms."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    StandardScaler,
+    log_runtime,
+    penalize_failures,
+    unlog_runtime,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, (200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 2, (50, 3))
+        sc = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            sc.inverse_transform(sc.transform(X)), X, atol=1e-12
+        )
+
+    def test_degenerate_column_protected(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+        with pytest.raises(RuntimeError):
+            StandardScaler().inverse_transform(np.ones((2, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.arange(5.0))
+
+
+class TestPenalizeFailures:
+    def test_no_failures_passthrough(self):
+        r = np.array([1.0, 2.0, 3.0])
+        out = penalize_failures(r)
+        np.testing.assert_array_equal(out, r)
+        assert out is not r  # copy, not alias
+
+    def test_failures_replaced_with_scaled_worst(self):
+        r = np.array([1.0, 5.0, np.inf])
+        out = penalize_failures(r, penalty_factor=10.0)
+        np.testing.assert_array_equal(out, [1.0, 5.0, 50.0])
+
+    def test_all_failures_fixed_penalty(self):
+        out = penalize_failures(np.array([np.inf, np.inf]))
+        assert np.all(out == 1e6)
+
+    def test_penalty_dominates_valid_values(self):
+        r = np.array([0.5, np.inf, 2.0])
+        out = penalize_failures(r)
+        assert out[1] > out.max(initial=0) / 2
+        assert out[1] > 2.0
+
+
+class TestLogTransforms:
+    def test_roundtrip(self):
+        r = np.array([0.5, 1.0, 100.0])
+        np.testing.assert_allclose(unlog_runtime(log_runtime(r)), r)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            log_runtime(np.array([1.0, np.inf]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_runtime(np.array([0.0, 1.0]))

@@ -1,0 +1,67 @@
+"""Unit tests for the parallel map wrapper."""
+
+import os
+
+import pytest
+
+from repro.parallel import ParallelMap, TaskError, default_worker_count
+
+
+def square(x):
+    return x * x
+
+
+def failing(x):
+    if x == 3:
+        raise RuntimeError("boom")
+    return x
+
+
+class TestSerial:
+    def test_order_preserved(self):
+        out = ParallelMap(workers=1).map(square, list(range(10)))
+        assert out == [x * x for x in range(10)]
+
+    def test_empty(self):
+        assert ParallelMap(workers=1).map(square, []) == []
+
+    def test_error_carries_task(self):
+        with pytest.raises(TaskError) as err:
+            ParallelMap(workers=1).map(failing, [1, 2, 3, 4])
+        assert err.value.task == 3
+        assert isinstance(err.value.cause, RuntimeError)
+
+
+class TestParallel:
+    def test_order_preserved_across_workers(self):
+        out = ParallelMap(workers=2, chunk_size=3).map(
+            square, list(range(20))
+        )
+        assert out == [x * x for x in range(20)]
+
+    def test_single_task_runs_inline(self):
+        assert ParallelMap(workers=4).map(square, [5]) == [25]
+
+    def test_worker_error_propagates(self):
+        with pytest.raises(TaskError):
+            ParallelMap(workers=2, chunk_size=2).map(
+                failing, list(range(6))
+            )
+
+    def test_workers_floor_at_one(self):
+        pm = ParallelMap(workers=0)
+        assert pm.workers == 1
+
+
+class TestDefaults:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_worker_count() == 3
+
+    def test_env_invalid_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        assert default_worker_count() >= 1
+
+    def test_no_env_uses_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_worker_count() == max(1, os.cpu_count() or 1)

@@ -1,0 +1,129 @@
+"""Unit tests for the paper-figure generators over synthetic results."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentResult, StudyResults
+from repro.reporting import (
+    algorithm_label,
+    figure2,
+    figure3,
+    figure4a,
+    figure4b,
+)
+
+
+@pytest.fixture
+def results():
+    """Synthetic study: 2 algorithms, 2 kernels, 1 arch, 2 sizes.
+
+    'good' is always 20% faster than 'random_search'.
+    """
+    res = StudyResults(
+        optima={("add", "titan_v"): 0.8, ("harris", "titan_v"): 0.4}
+    )
+    rng = np.random.default_rng(0)
+    for kernel, base in (("add", 1.0), ("harris", 0.5)):
+        for size in (25, 100):
+            for exp in range(20):
+                noise = 1.0 + 0.02 * rng.standard_normal()
+                for alg, factor in (("random_search", 1.0), ("good", 0.8)):
+                    res.add(
+                        ExperimentResult(
+                            algorithm=alg,
+                            kernel=kernel,
+                            arch="titan_v",
+                            sample_size=size,
+                            experiment=exp,
+                            final_runtime_ms=base * factor * noise,
+                            best_flat=exp,
+                            observed_best_ms=base * factor,
+                            samples_used=size,
+                        )
+                    )
+    return res
+
+
+class TestLabels:
+    def test_known_algorithms(self):
+        assert algorithm_label("bo_gp") == "BO GP"
+        assert algorithm_label("random_search") == "RS"
+
+    def test_unknown_passthrough(self):
+        assert algorithm_label("good") == "good"
+
+
+class TestFigure2:
+    def test_panel_grid(self, results):
+        fig = figure2(results)
+        assert set(fig.panels) == {
+            ("add", "titan_v"), ("harris", "titan_v"),
+        }
+        panel = fig.panels[("add", "titan_v")]
+        assert panel.values.shape == (2, 2)  # 2 algs x 2 sizes
+
+    def test_percent_values(self, results):
+        panel = figure2(results).panels[("add", "titan_v")]
+        # RS: 0.8 optimum / ~1.0 runtime = ~80%.
+        rs_row = panel.values[0]
+        assert rs_row[0] == pytest.approx(80.0, rel=0.05)
+        good_row = panel.values[1]
+        assert good_row[0] == pytest.approx(100.0, rel=0.05)
+
+    def test_csv_export(self, results):
+        csv = figure2(results).to_csv()
+        assert "# figure2_percent_of_optimum add/titan_v" in csv
+        assert "harris/titan_v" in csv
+
+
+class TestFigure3:
+    def test_series_per_algorithm(self, results):
+        plot = figure3(results)
+        assert [s.label for s in plot.series] == ["RS", "good"]
+        for s in plot.series:
+            assert list(s.x) == [25, 100]
+
+    def test_ci_band_present_and_ordered(self, results):
+        plot = figure3(results)
+        for s in plot.series:
+            for lo, mid, hi in zip(s.y_low, s.y, s.y_high):
+                assert lo <= mid <= hi
+
+    def test_aggregate_is_mean_of_cell_medians(self, results):
+        plot = figure3(results)
+        rs = plot.series[0]
+        expected = np.mean(
+            [
+                results.median_percent_of_optimum(
+                    "random_search", k, "titan_v", 25
+                )
+                for k in ("add", "harris")
+            ]
+        )
+        assert rs.y[0] == pytest.approx(expected)
+
+
+class TestFigure4:
+    def test_speedup_excludes_baseline(self, results):
+        fig = figure4a(results)
+        panel = fig.panels[("add", "titan_v")]
+        assert panel.row_labels == ["good"]
+
+    def test_speedup_value(self, results):
+        panel = figure4a(results).panels[("add", "titan_v")]
+        assert panel.values[0, 0] == pytest.approx(1.25, rel=0.03)
+
+    def test_cles_value(self, results):
+        panel = figure4b(results).panels[("harris", "titan_v")]
+        # 'good' is 20% faster with 2% noise: it nearly always wins.
+        assert panel.values[0, 0] > 0.95
+
+    def test_missing_baseline_rejected(self, results):
+        from repro.experiments import StudyResults
+
+        no_rs = StudyResults(
+            [r for r in results.results if r.algorithm != "random_search"],
+            optima=results.optima,
+        )
+        with pytest.raises(ValueError):
+            figure4a(no_rs)

@@ -1,0 +1,58 @@
+"""Unit tests for text heatmap rendering."""
+
+import numpy as np
+import pytest
+
+from repro.reporting import Heatmap, render_heatmap
+
+
+@pytest.fixture
+def heatmap():
+    return Heatmap(
+        title="demo",
+        row_labels=["RS", "GA"],
+        col_labels=["25", "400"],
+        values=np.array([[50.0, 80.0], [45.0, 95.0]]),
+    )
+
+
+class TestHeatmap:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Heatmap("t", ["a"], ["b", "c"], np.zeros((2, 2)))
+
+    def test_csv_layout(self, heatmap):
+        csv = heatmap.to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == ",25,400"
+        assert lines[1].startswith("RS,50")
+        assert lines[2].startswith("GA,45")
+
+    def test_render_contains_everything(self, heatmap):
+        text = render_heatmap(heatmap)
+        assert "demo" in text
+        for token in ("RS", "GA", "25", "400"):
+            assert token in text
+        assert "95.0" in text
+
+    def test_render_shading_extremes(self, heatmap):
+        text = render_heatmap(heatmap)
+        assert "█" in text  # max value gets the darkest glyph
+
+    def test_render_without_shading(self, heatmap):
+        text = render_heatmap(heatmap, shade=False)
+        assert "█" not in text and "░" not in text
+
+    def test_custom_format(self, heatmap):
+        text = render_heatmap(heatmap, fmt="{:6.2f}", shade=False)
+        assert "50.00" in text
+
+    def test_nan_safe(self):
+        hm = Heatmap("t", ["a"], ["b"], np.array([[np.nan]]))
+        text = render_heatmap(hm)
+        assert "nan" in text
+
+    def test_fixed_scale(self, heatmap):
+        # With vmax far above the data everything shades light.
+        text = render_heatmap(heatmap, vmin=0, vmax=1e6)
+        assert "█" not in text

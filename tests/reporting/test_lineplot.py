@@ -1,0 +1,65 @@
+"""Unit tests for ASCII line plots."""
+
+import pytest
+
+from repro.reporting import LinePlot, Series, render_lineplot
+
+
+@pytest.fixture
+def plot():
+    return LinePlot(
+        title="convergence",
+        series=[
+            Series("RS", x=[25, 100, 400], y=[50.0, 70.0, 85.0]),
+            Series(
+                "GA", x=[25, 100, 400], y=[48.0, 75.0, 95.0],
+                y_low=[45.0, 72.0, 92.0], y_high=[51.0, 78.0, 98.0],
+            ),
+        ],
+        x_label="sample size",
+    )
+
+
+class TestSeries:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            Series("s", x=[1, 2], y=[1.0])
+        with pytest.raises(ValueError):
+            Series("s", x=[1, 2], y=[1.0, 2.0], y_low=[1.0])
+
+
+class TestLinePlot:
+    def test_csv_long_format(self, plot):
+        csv = plot.to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "series,x,y,y_low,y_high"
+        assert len(lines) == 1 + 6
+        assert any(line.startswith("GA,400,95.0,92.0,98.0")
+                   for line in lines)
+
+    def test_render_contains_labels(self, plot):
+        text = render_lineplot(plot)
+        assert "convergence" in text
+        assert "legend:" in text
+        assert "RS" in text and "GA" in text
+        assert "sample size" in text
+
+    def test_render_ticks(self, plot):
+        text = render_lineplot(plot)
+        for tick in ("25", "100", "400"):
+            assert tick in text
+
+    def test_empty_plot_rejected(self):
+        with pytest.raises(ValueError):
+            render_lineplot(LinePlot("t", series=[]))
+
+    def test_flat_series_safe(self):
+        p = LinePlot("t", [Series("s", x=[1, 2], y=[5.0, 5.0])])
+        text = render_lineplot(p)
+        assert "t" in text
+
+    def test_markers_drawn_for_each_series(self, plot):
+        text = render_lineplot(plot, width=40, height=10)
+        canvas = "\n".join(text.split("\n")[1:-3])
+        assert "o" in canvas and "x" in canvas
+        assert "." in canvas  # connecting segments

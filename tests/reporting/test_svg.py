@@ -1,0 +1,101 @@
+"""Tests for SVG figure rendering."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.reporting import Heatmap, LinePlot, Series
+from repro.reporting.svg import heatmap_svg, lineplot_svg, save_figure_svg
+
+
+@pytest.fixture
+def heatmap():
+    return Heatmap(
+        title="demo <panel>",
+        row_labels=["RS", "GA"],
+        col_labels=["25", "400"],
+        values=np.array([[50.0, 80.0], [45.0, np.nan]]),
+    )
+
+
+@pytest.fixture
+def plot():
+    return LinePlot(
+        title="conv",
+        series=[
+            Series("RS", x=[25, 400], y=[50.0, 85.0]),
+            Series("GA", x=[25, 400], y=[48.0, 95.0],
+                   y_low=[45.0, 92.0], y_high=[51.0, 98.0]),
+        ],
+        x_label="sample size",
+    )
+
+
+class TestHeatmapSvg:
+    def test_valid_xml(self, heatmap):
+        svg = heatmap_svg(heatmap)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_labels_and_values_present(self, heatmap):
+        svg = heatmap_svg(heatmap)
+        for token in ("RS", "GA", "25", "400", "50.0", "80.0"):
+            assert token in svg
+
+    def test_title_escaped(self, heatmap):
+        svg = heatmap_svg(heatmap)
+        assert "&lt;panel&gt;" in svg
+        ET.fromstring(svg)  # escaping keeps it parseable
+
+    def test_nan_rendered_as_na(self, heatmap):
+        assert "n/a" in heatmap_svg(heatmap)
+
+    def test_cell_count(self, heatmap):
+        root = ET.fromstring(heatmap_svg(heatmap))
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        # background + 4 cells.
+        assert len(rects) == 5
+
+
+class TestLineplotSvg:
+    def test_valid_xml(self, plot):
+        ET.fromstring(lineplot_svg(plot))
+
+    def test_series_drawn(self, plot):
+        svg = lineplot_svg(plot)
+        root = ET.fromstring(svg)
+        polylines = [e for e in root.iter() if e.tag.endswith("polyline")]
+        assert len(polylines) == 2
+        polygons = [e for e in root.iter() if e.tag.endswith("polygon")]
+        assert len(polygons) == 1  # only GA has a band
+
+    def test_legend_and_ticks(self, plot):
+        svg = lineplot_svg(plot)
+        for token in ("RS", "GA", "sample size", "25", "400"):
+            assert token in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lineplot_svg(LinePlot("t", series=[]))
+
+
+class TestSaveFigureSvg:
+    def test_saves_grid_panels(self, heatmap, tmp_path):
+        from repro.reporting.figures import FigureGrid
+
+        grid = FigureGrid(
+            name="fig_demo",
+            panels={("add", "titan_v"): heatmap,
+                    ("harris", "gtx_980"): heatmap},
+        )
+        paths = save_figure_svg(grid, tmp_path)
+        assert len(paths) == 2
+        for p in paths:
+            assert p.exists()
+            ET.fromstring(p.read_text())
+
+    def test_saves_lineplot(self, plot, tmp_path):
+        paths = save_figure_svg(plot, tmp_path)
+        assert len(paths) == 1
+        assert paths[0].name == "figure.svg"

@@ -1,0 +1,48 @@
+"""Shared fixtures for search-algorithm tests.
+
+Tuners are exercised against two kinds of objectives:
+
+* ``sim_objective`` — the real simulated GPU landscape (integration-ish),
+* ``quadratic_objective`` — a cheap synthetic bowl with a known optimum,
+  used to verify that model-based tuners actually *optimize*.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import TITAN_V, SimulatedDevice
+from repro.kernels import get_kernel
+from repro.search import Objective
+from repro.searchspace import IntegerParameter, SearchSpace, paper_search_space
+
+
+@pytest.fixture
+def paper_space():
+    return paper_search_space()
+
+
+def make_sim_objective(budget: int, seed: int = 0, kernel: str = "harris"):
+    k = get_kernel(kernel)
+    device = SimulatedDevice(
+        TITAN_V, k.profile(), rng=np.random.default_rng(seed)
+    )
+    return Objective(
+        k.space(), lambda c: device.measure(c).runtime_ms, budget
+    )
+
+
+def make_quadratic_objective(budget: int):
+    """A separable bowl over a 3-D integer space, minimum at (7, 3, 5)."""
+    space = SearchSpace(
+        [
+            IntegerParameter("x", 0, 15),
+            IntegerParameter("y", 0, 15),
+            IntegerParameter("z", 0, 15),
+        ]
+    )
+    target = {"x": 7, "y": 3, "z": 5}
+
+    def measure(cfg):
+        return 1.0 + sum((cfg[k] - target[k]) ** 2 for k in target)
+
+    return Objective(space, measure, budget), target

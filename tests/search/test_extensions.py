@@ -1,0 +1,188 @@
+"""Tests for the extension tuners: SA, PSO, HyperBand, BOHB."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import TITAN_V
+from repro.experiments.fidelity import make_fidelity_measure
+from repro.parallel import RngFactory
+from repro.search import (
+    BohbTuner,
+    BudgetExhausted,
+    EXTENSION_ALGORITHM_NAMES,
+    HyperbandTuner,
+    MultiFidelityObjective,
+    ParticleSwarmTuner,
+    SimulatedAnnealingTuner,
+    make_tuner,
+)
+
+from .conftest import make_quadratic_objective, make_sim_objective
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        assert set(EXTENSION_ALGORITHM_NAMES) == {
+            "simulated_annealing", "particle_swarm",
+        }
+        for name in EXTENSION_ALGORITHM_NAMES:
+            assert make_tuner(name).name == name
+
+
+@pytest.mark.parametrize("name", EXTENSION_ALGORITHM_NAMES)
+class TestMetaheuristicContract:
+    def test_exact_budget(self, name):
+        obj = make_sim_objective(40, seed=11)
+        result = make_tuner(name).tune(obj, np.random.default_rng(12))
+        assert result.samples_used == 40
+        assert np.isfinite(result.best_runtime_ms)
+
+    def test_reproducible(self, name):
+        r1 = make_tuner(name).tune(
+            make_sim_objective(30, seed=13), np.random.default_rng(14)
+        )
+        r2 = make_tuner(name).tune(
+            make_sim_objective(30, seed=13), np.random.default_rng(14)
+        )
+        assert r1.history_runtimes == r2.history_runtimes
+
+    def test_optimizes_quadratic(self, name):
+        obj, _ = make_quadratic_objective(120)
+        result = make_tuner(name).tune(obj, np.random.default_rng(15))
+        assert result.best_runtime_ms <= 10.0
+
+
+class TestSimulatedAnnealing:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingTuner(t_start=0.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingTuner(t_start=0.1, t_end=0.2)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingTuner(neighbour_hop=1.5)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingTuner(restart_after=0)
+
+    def test_neighbour_changes_one_dimension(self):
+        tuner = SimulatedAnnealingTuner(neighbour_hop=0.0)
+        obj = make_sim_objective(5, seed=0)
+        rng = np.random.default_rng(0)
+        genes = (3, 3, 3, 3, 3, 3)
+        for _ in range(20):
+            nxt = tuner._neighbour(genes, obj, rng)
+            diffs = [abs(a - b) for a, b in zip(genes, nxt)]
+            assert sum(d != 0 for d in diffs) <= 1
+            assert max(diffs) <= 1  # adjacent steps only with hop=0
+
+
+class TestParticleSwarm:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParticleSwarmTuner(num_particles=1)
+        with pytest.raises(ValueError):
+            ParticleSwarmTuner(inertia=-0.1)
+
+
+@pytest.fixture
+def mf_objective():
+    measure = make_fidelity_measure(
+        "add", TITAN_V, full_x=2048, full_y=2048,
+        rng_factory=RngFactory(7),
+    )
+    return MultiFidelityObjective(
+        space=make_sim_objective(1).space,
+        measure=measure,
+        budget_units=12.0,
+    )
+
+
+class TestMultiFidelityObjective:
+    def test_budget_units_charged_by_fidelity(self, mf_objective):
+        cfg = mf_objective.space.sample(np.random.default_rng(0), 1,
+                                        feasible_only=True)[0]
+        mf_objective.evaluate(cfg, fidelity=0.25)
+        assert mf_objective.spent == pytest.approx(0.25)
+        mf_objective.evaluate(cfg, fidelity=1.0)
+        assert mf_objective.spent == pytest.approx(1.25)
+
+    def test_budget_exhaustion(self, mf_objective):
+        cfg = mf_objective.space.sample(np.random.default_rng(0), 1,
+                                        feasible_only=True)[0]
+        for _ in range(12):
+            mf_objective.evaluate(cfg, fidelity=1.0)
+        with pytest.raises(BudgetExhausted):
+            mf_objective.evaluate(cfg, fidelity=1.0)
+
+    def test_invalid_fidelity(self, mf_objective):
+        cfg = mf_objective.space.sample(np.random.default_rng(0), 1,
+                                        feasible_only=True)[0]
+        with pytest.raises(ValueError):
+            mf_objective.evaluate(cfg, fidelity=0.0)
+        with pytest.raises(ValueError):
+            mf_objective.evaluate(cfg, fidelity=1.5)
+
+    def test_lower_fidelity_runs_faster(self, mf_objective):
+        cfg = {"thread_x": 1, "thread_y": 1, "thread_z": 1,
+               "wg_x": 8, "wg_y": 4, "wg_z": 1}
+        low = mf_objective.evaluate(cfg, fidelity=1 / 16)
+        high = mf_objective.evaluate(cfg, fidelity=1.0)
+        assert low < high
+
+    def test_best_at_highest_fidelity(self, mf_objective):
+        rng = np.random.default_rng(1)
+        cfgs = mf_objective.space.sample(rng, 3, feasible_only=True)
+        mf_objective.evaluate(cfgs[0], fidelity=0.1)
+        r1 = mf_objective.evaluate(cfgs[1], fidelity=1.0)
+        r2 = mf_objective.evaluate(cfgs[2], fidelity=1.0)
+        best_cfg, best_rt = mf_objective.best_at_highest_fidelity()
+        assert best_rt == min(r1, r2)
+        assert best_cfg in (cfgs[1], cfgs[2])
+
+
+class TestHyperband:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HyperbandTuner(eta=1)
+        with pytest.raises(ValueError):
+            HyperbandTuner(s_max=-1)
+        with pytest.raises(ValueError):
+            BohbTuner(gamma=0.0)
+        with pytest.raises(ValueError):
+            BohbTuner(min_points=1)
+
+    def test_requires_mf_objective(self):
+        with pytest.raises(TypeError):
+            HyperbandTuner().tune(
+                make_sim_objective(10), np.random.default_rng(0)
+            )
+
+    @pytest.mark.parametrize("cls", [HyperbandTuner, BohbTuner])
+    def test_spends_full_budget_and_reaches_full_fidelity(
+        self, cls, mf_objective
+    ):
+        result = cls(s_max=2).tune_mf(mf_objective, np.random.default_rng(3))
+        assert mf_objective.remaining < 1.0  # nearly all spent
+        assert max(mf_objective.fidelities) == pytest.approx(1.0)
+        assert np.isfinite(result.best_runtime_ms)
+        # More launches than full-fidelity evaluations could afford.
+        assert len(mf_objective.runtimes) > mf_objective.budget_units
+
+    def test_bracket_promotes_best(self, mf_objective):
+        tuner = HyperbandTuner(s_max=2)
+        tuner._run_bracket(2, mf_objective, np.random.default_rng(4))
+        fids = np.asarray(mf_objective.fidelities)
+        # Successive halving: strictly fewer evaluations per rung.
+        rung_sizes = [int((fids == f).sum()) for f in sorted(set(fids))]
+        assert rung_sizes == sorted(rung_sizes, reverse=True)
+
+    def test_bohb_uses_model_after_enough_points(self, mf_objective):
+        tuner = BohbTuner(s_max=2, min_points=4)
+        rng = np.random.default_rng(5)
+        cfgs = mf_objective.space.sample(rng, 6, feasible_only=True)
+        for cfg in cfgs:
+            mf_objective.evaluate(cfg, fidelity=1.0)
+        assert tuner._model_observations(mf_objective) is not None
+        proposals = tuner._propose(3, mf_objective, rng)
+        assert len(proposals) == 3
+        for p in proposals:
+            mf_objective.space.validate_config(p)

@@ -1,0 +1,144 @@
+"""Unit tests for tunable parameter types."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.searchspace import (
+    CategoricalParameter,
+    IntegerParameter,
+    OrdinalParameter,
+    PowerOfTwoParameter,
+)
+
+
+class TestIntegerParameter:
+    def test_cardinality(self):
+        p = IntegerParameter("t", 1, 16)
+        assert p.cardinality == 16
+
+    def test_single_value_range(self):
+        p = IntegerParameter("t", 5, 5)
+        assert p.cardinality == 1
+        assert p.value_at(0) == 5
+
+    def test_values_enumeration(self):
+        p = IntegerParameter("t", 3, 6)
+        assert list(p.values()) == [3, 4, 5, 6]
+
+    def test_value_index_roundtrip(self):
+        p = IntegerParameter("t", 2, 9)
+        for i in range(p.cardinality):
+            assert p.index_of(p.value_at(i)) == i
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerParameter("t", 5, 4)
+
+    def test_value_at_out_of_range(self):
+        p = IntegerParameter("t", 1, 4)
+        with pytest.raises(IndexError):
+            p.value_at(4)
+        with pytest.raises(IndexError):
+            p.value_at(-1)
+
+    def test_index_of_rejects_outside(self):
+        p = IntegerParameter("t", 1, 4)
+        with pytest.raises(ValueError):
+            p.index_of(0)
+        with pytest.raises(ValueError):
+            p.index_of(5)
+
+    def test_index_of_rejects_non_integer(self):
+        p = IntegerParameter("t", 1, 4)
+        with pytest.raises(ValueError):
+            p.index_of(2.5)
+
+    def test_contains(self):
+        p = IntegerParameter("t", 1, 4)
+        assert 1 in p and 4 in p
+        assert 0 not in p and 5 not in p
+
+    def test_sample_within_range(self):
+        p = IntegerParameter("t", 1, 16)
+        rng = np.random.default_rng(0)
+        draws = [p.sample(rng) for _ in range(200)]
+        assert all(1 <= d <= 16 for d in draws)
+        assert len(set(draws)) > 10  # actually spreads out
+
+    def test_sample_deterministic_with_seed(self):
+        p = IntegerParameter("t", 1, 16)
+        a = [p.sample(np.random.default_rng(7)) for _ in range(5)]
+        b = [p.sample(np.random.default_rng(7)) for _ in range(5)]
+        assert a == b
+
+    def test_to_feature_is_value(self):
+        p = IntegerParameter("t", 1, 16)
+        assert p.to_feature(7) == 7.0
+
+    def test_is_ordinal(self):
+        assert IntegerParameter("t", 1, 4).is_ordinal
+
+    @given(st.integers(-50, 50), st.integers(0, 100))
+    def test_roundtrip_property(self, low, span):
+        p = IntegerParameter("t", low, low + span)
+        for idx in (0, span // 2, span):
+            assert p.index_of(p.value_at(idx)) == idx
+
+
+class TestOrdinalParameter:
+    def test_choices(self):
+        p = OrdinalParameter("v", choices=(1, 2, 4, 8))
+        assert p.cardinality == 4
+        assert p.value_at(2) == 4
+        assert p.index_of(8) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            OrdinalParameter("v", choices=())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            OrdinalParameter("v", choices=(1, 1, 2))
+
+    def test_index_of_missing(self):
+        p = OrdinalParameter("v", choices=(1, 2, 4))
+        with pytest.raises(ValueError):
+            p.index_of(3)
+
+    def test_to_feature(self):
+        p = OrdinalParameter("v", choices=(1, 2, 4))
+        assert p.to_feature(4) == 4.0
+
+
+class TestPowerOfTwoParameter:
+    def test_full_range(self):
+        p = PowerOfTwoParameter("v", low=1, high=8)
+        assert tuple(p.values()) == (1, 2, 4, 8)
+
+    def test_partial_range(self):
+        p = PowerOfTwoParameter("v", low=3, high=20)
+        assert tuple(p.values()) == (4, 8, 16)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            PowerOfTwoParameter("v", low=0, high=8)
+
+
+class TestCategoricalParameter:
+    def test_basics(self):
+        p = CategoricalParameter("layout", choices=("row", "col", "tiled"))
+        assert p.cardinality == 3
+        assert p.value_at(1) == "col"
+        assert p.index_of("tiled") == 2
+        assert not p.is_ordinal
+
+    def test_to_feature_is_index(self):
+        p = CategoricalParameter("layout", choices=("row", "col"))
+        assert p.to_feature("col") == 1.0
+
+    def test_missing_value(self):
+        p = CategoricalParameter("layout", choices=("row",))
+        with pytest.raises(ValueError):
+            p.index_of("col")

@@ -1,0 +1,81 @@
+"""Unit tests for the Common Language Effect Size (Eq. 1 of the paper)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import cles_greater, cles_smaller
+
+
+def brute_force_cles(a, b):
+    """Direct pairwise evaluation of Eq. 1."""
+    wins = ties = 0
+    for xa in a:
+        for xb in b:
+            if xa > xb:
+                wins += 1
+            elif xa == xb:
+                ties += 1
+    return (wins + 0.5 * ties) / (len(a) * len(b))
+
+
+class TestClesGreater:
+    def test_complete_dominance(self):
+        a = np.array([10.0, 11.0, 12.0])
+        b = np.array([1.0, 2.0, 3.0])
+        assert cles_greater(a, b) == 1.0
+        assert cles_greater(b, a) == 0.0
+
+    def test_identical_distributions_half(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert cles_greater(a, a.copy()) == pytest.approx(0.5)
+
+    def test_ties_count_half(self):
+        a = np.array([1.0])
+        b = np.array([1.0])
+        assert cles_greater(a, b) == pytest.approx(0.5)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 6, 40).astype(float)
+        b = rng.integers(0, 6, 30).astype(float)
+        assert cles_greater(a, b) == pytest.approx(brute_force_cles(a, b))
+
+    def test_complementarity(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 50)
+        b = rng.normal(0.3, 1, 60)
+        assert cles_greater(a, b) + cles_greater(b, a) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cles_greater(np.array([]), np.ones(2))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            cles_greater(np.array([np.nan]), np.ones(2))
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force_property(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 4, rng.integers(1, 15)).astype(float)
+        b = rng.integers(0, 4, rng.integers(1, 15)).astype(float)
+        assert cles_greater(a, b) == pytest.approx(brute_force_cles(a, b))
+
+
+class TestClesSmaller:
+    def test_runtime_semantics(self):
+        """Fig. 4b: the probability a (lower-is-better) runtime beats
+        the baseline."""
+        fast = np.array([1.0, 1.1, 0.9])
+        slow = np.array([2.0, 2.1, 1.9])
+        assert cles_smaller(fast, slow) == 1.0
+        assert cles_smaller(slow, fast) == 0.0
+
+    def test_mirror_of_greater(self):
+        rng = np.random.default_rng(2)
+        a = rng.lognormal(0, 0.5, 40)
+        b = rng.lognormal(0.2, 0.5, 40)
+        assert cles_smaller(a, b) == pytest.approx(cles_greater(b, a))

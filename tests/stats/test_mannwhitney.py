@@ -1,0 +1,110 @@
+"""Unit tests for the Mann-Whitney U test, validated against SciPy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.stats import PAPER_ALPHA, mann_whitney_u, rankdata_average
+
+
+class TestRankData:
+    def test_simple_ranks(self):
+        np.testing.assert_array_equal(
+            rankdata_average(np.array([10.0, 30.0, 20.0])), [1, 3, 2]
+        )
+
+    def test_ties_get_average_rank(self):
+        np.testing.assert_array_equal(
+            rankdata_average(np.array([1.0, 2.0, 2.0, 3.0])),
+            [1, 2.5, 2.5, 4],
+        )
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 10, 50).astype(float)
+        np.testing.assert_allclose(
+            rankdata_average(x), scipy_stats.rankdata(x)
+        )
+
+
+class TestMannWhitney:
+    def test_identical_distributions_high_p(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 200)
+        y = rng.normal(0, 1, 200)
+        r = mann_whitney_u(x, y)
+        assert r.p_value > PAPER_ALPHA
+        assert not r.significant()
+
+    def test_shifted_distributions_low_p(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 100)
+        y = rng.normal(1.0, 1, 100)
+        r = mann_whitney_u(x, y)
+        assert r.p_value < 1e-6
+        assert r.significant()
+
+    def test_matches_scipy_two_sided(self):
+        rng = np.random.default_rng(1)
+        x = rng.lognormal(0, 1, 80)
+        y = rng.lognormal(0.3, 1, 120)
+        ours = mann_whitney_u(x, y)
+        theirs = scipy_stats.mannwhitneyu(x, y, alternative="two-sided")
+        assert ours.u_statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-2)
+
+    def test_matches_scipy_one_sided(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 1, 60)
+        y = rng.normal(0.4, 1, 60)
+        for alt in ("less", "greater"):
+            ours = mann_whitney_u(x, y, alternative=alt)
+            theirs = scipy_stats.mannwhitneyu(x, y, alternative=alt)
+            assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-2)
+
+    def test_matches_scipy_with_ties(self):
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 5, 100).astype(float)
+        y = rng.integers(1, 6, 100).astype(float)
+        ours = mann_whitney_u(x, y)
+        theirs = scipy_stats.mannwhitneyu(x, y, alternative="two-sided")
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=5e-2)
+
+    def test_all_identical_values(self):
+        r = mann_whitney_u(np.ones(10), np.ones(15))
+        assert r.p_value == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u(np.array([]), np.ones(3))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u(np.array([1.0, np.inf]), np.ones(3))
+
+    def test_invalid_alternative(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u(np.ones(3), np.ones(3), alternative="both")
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_p_value_bounds_property(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0, 1, 30)
+        y = rng.normal(rng.uniform(-1, 1), 1, 40)
+        r = mann_whitney_u(x, y)
+        assert 0.0 <= r.p_value <= 1.0
+        assert 0 <= r.u_statistic <= 30 * 40
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_symmetry_property(self, seed):
+        """Two-sided p is symmetric in argument order."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0, 1, 25)
+        y = rng.normal(0.5, 1, 35)
+        assert mann_whitney_u(x, y).p_value == pytest.approx(
+            mann_whitney_u(y, x).p_value, rel=1e-9
+        )

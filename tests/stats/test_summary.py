@@ -1,0 +1,68 @@
+"""Unit tests for pairwise comparisons and summaries."""
+
+import numpy as np
+import pytest
+
+from repro.stats import compare_pair, describe, median_speedup
+
+
+class TestMedianSpeedup:
+    def test_faster_algorithm_above_one(self):
+        fast = np.array([1.0, 1.0, 1.0])
+        slow = np.array([2.0, 2.0, 2.0])
+        assert median_speedup(fast, slow) == pytest.approx(2.0)
+        assert median_speedup(slow, fast) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            median_speedup(np.array([0.0]), np.array([1.0]))
+
+
+class TestComparePair:
+    def test_clear_winner_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.lognormal(0.0, 0.1, 100)
+        b = rng.lognormal(0.5, 0.1, 100)
+        cmp = compare_pair(a, b)
+        assert cmp.median_speedup > 1.4
+        assert cmp.cles > 0.9
+        assert cmp.significant
+
+    def test_identical_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.lognormal(0, 0.1, 100)
+        b = rng.lognormal(0, 0.1, 100)
+        cmp = compare_pair(a, b)
+        assert not cmp.significant
+
+    def test_paper_one_percent_median_criterion(self):
+        """Significant p-value alone is not enough: the paper also
+        requires the medians to differ by more than 1% (Section VII)."""
+        base = np.concatenate([np.full(500, 1.000), np.full(500, 1.002)])
+        shifted = base * 1.005  # big n -> tiny p, but only 0.5% delta
+        cmp = compare_pair(base, shifted)
+        assert cmp.p_value < 0.01
+        assert not cmp.significant
+
+    def test_cles_direction(self):
+        fast = np.full(20, 1.0)
+        slow = np.full(20, 2.0)
+        assert compare_pair(fast, slow).cles == 1.0
+
+
+class TestDescribe:
+    def test_summary_fields(self):
+        values = np.arange(1.0, 101.0)
+        d = describe(values)
+        assert d["n"] == 100
+        assert d["median"] == pytest.approx(50.5)
+        assert d["min"] == 1.0 and d["max"] == 100.0
+        assert d["q25"] < d["median"] < d["q75"]
+
+    def test_single_value(self):
+        d = describe(np.array([5.0]))
+        assert d["std"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            describe(np.array([]))

@@ -1,0 +1,81 @@
+"""Tests for the repro-study command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.sample_sizes == [25, 50, 100]
+        assert args.experiments_at_largest == 5
+        assert args.workers == 1
+        assert not args.paper_scale
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--kernels", "fft"])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--algorithms", "hill_climbing"])
+
+
+class TestMain:
+    def test_tiny_run_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        rc = main(
+            [
+                "--algorithms", "random_search", "genetic_algorithm",
+                "--kernels", "add",
+                "--archs", "titan_v",
+                "--sample-sizes", "25",
+                "--experiments-at-largest", "2",
+                "--image-size", "512",
+                "--save", str(out),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "Fig.2" in captured
+        assert "Fig.4a" in captured
+
+        doc = json.loads(out.read_text())
+        assert len(doc["results"]) == 4  # 2 algorithms x 2 experiments
+        assert doc["optima"]
+
+    def test_svg_export(self, tmp_path, capsys):
+        rc = main(
+            [
+                "--algorithms", "random_search", "genetic_algorithm",
+                "--kernels", "add",
+                "--archs", "titan_v",
+                "--sample-sizes", "25",
+                "--experiments-at-largest", "2",
+                "--image-size", "512",
+                "--no-figures",
+                "--svg-dir", str(tmp_path / "figs"),
+            ]
+        )
+        assert rc == 0
+        svgs = list((tmp_path / "figs").glob("*.svg"))
+        # fig2 panel + fig3 + fig4a panel + fig4b panel.
+        assert len(svgs) == 4
+
+    def test_no_figures_flag(self, capsys):
+        rc = main(
+            [
+                "--algorithms", "random_search",
+                "--kernels", "add",
+                "--archs", "titan_v",
+                "--sample-sizes", "25",
+                "--experiments-at-largest", "1",
+                "--image-size", "512",
+                "--no-figures",
+            ]
+        )
+        assert rc == 0
+        assert "Fig.2" not in capsys.readouterr().out

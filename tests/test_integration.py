@@ -1,0 +1,122 @@
+"""Cross-module integration tests: the full pipeline at miniature scale.
+
+These exercise searchspace -> kernels -> gpu -> search -> experiments ->
+stats -> reporting together, asserting invariants that only hold when the
+pieces compose correctly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExperimentDesign,
+    StudyConfig,
+    TITAN_V,
+    SimulatedDevice,
+    find_true_optimum,
+    get_kernel,
+    run_study,
+)
+from repro.reporting import figure2, figure3, figure4a, figure4b
+from repro.search import Objective, make_tuner
+
+
+@pytest.fixture(scope="module")
+def mini_study():
+    config = StudyConfig(
+        design=ExperimentDesign(sample_sizes=(25, 50),
+                                experiments_at_largest=3),
+        algorithms=("random_search", "genetic_algorithm", "bo_tpe"),
+        kernels=("add", "mandelbrot"),
+        archs=("titan_v",),
+        image_x=2048,
+        image_y=2048,
+        workers=1,
+    )
+    return run_study(config)
+
+
+class TestStudyPipeline:
+    def test_all_cells_populated(self, mini_study):
+        for alg in mini_study.algorithms:
+            for kernel in mini_study.kernels:
+                for size in (25, 50):
+                    pop = mini_study.population(alg, kernel, "titan_v", size)
+                    expected = 6 if size == 25 else 3
+                    assert pop.shape == (expected,)
+                    assert np.all(pop > 0)
+
+    def test_percent_of_optimum_bounded(self, mini_study):
+        """No algorithm can beat the true optimum by more than noise."""
+        for alg in mini_study.algorithms:
+            for kernel in mini_study.kernels:
+                for size in (25, 50):
+                    pct = mini_study.percent_of_optimum(
+                        alg, kernel, "titan_v", size
+                    )
+                    assert np.all(pct <= 115.0)
+                    assert np.all(pct > 0.0)
+
+    def test_every_figure_renders(self, mini_study):
+        from repro.reporting import render_heatmap, render_lineplot
+
+        for fig in (figure2(mini_study), figure4a(mini_study),
+                    figure4b(mini_study)):
+            for panel in fig.panels.values():
+                text = render_heatmap(panel)
+                assert len(text) > 0
+            assert len(fig.to_csv()) > 0
+        assert len(render_lineplot(figure3(mini_study))) > 0
+
+    def test_json_roundtrip_preserves_figures(self, mini_study, tmp_path):
+        from repro.experiments import StudyResults
+
+        path = tmp_path / "study.json"
+        mini_study.save(path)
+        loaded = StudyResults.load(path)
+        orig = figure2(mini_study).panels[("add", "titan_v")].values
+        again = figure2(loaded).panels[("add", "titan_v")].values
+        np.testing.assert_allclose(orig, again)
+
+
+class TestTunerAgainstTrueOptimum:
+    def test_bo_gp_approaches_exhaustive_optimum(self):
+        """BO GP at a 100-sample budget should reach a sizeable fraction
+        of the exhaustively-computed optimum on a real landscape."""
+        kernel = get_kernel("add")
+        space = kernel.space()
+        profile = kernel.profile()
+        optimum = find_true_optimum(profile, TITAN_V, space)
+
+        device = SimulatedDevice(
+            TITAN_V, profile, rng=np.random.default_rng(0)
+        )
+        objective = Objective(
+            space, lambda c: device.measure(c).runtime_ms, budget=100
+        )
+        result = make_tuner("bo_gp").tune(
+            objective, np.random.default_rng(1)
+        )
+        assert result.best_runtime_ms < 3.0 * optimum.runtime_ms
+
+    def test_optimum_unbeatable_without_noise_luck(self):
+        """No search result on the noiseless simulator can undercut the
+        exhaustive optimum."""
+        kernel = get_kernel("mandelbrot", 2048, 2048)
+        space = kernel.space()
+        profile = kernel.profile()
+        optimum = find_true_optimum(profile, TITAN_V, space)
+
+        from repro.gpu import NOISELESS
+
+        device = SimulatedDevice(
+            TITAN_V, profile, noise=NOISELESS,
+            rng=np.random.default_rng(2),
+        )
+        objective = Objective(
+            space, lambda c: device.measure(c).runtime_ms, budget=200
+        )
+        result = make_tuner("genetic_algorithm").tune(
+            objective, np.random.default_rng(3)
+        )
+        assert result.best_runtime_ms >= optimum.runtime_ms - 1e-9
