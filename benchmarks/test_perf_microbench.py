@@ -6,6 +6,8 @@ reproducible at all: the vectorized GPU performance model (exhaustive
 refit inside their loops, and the statistics kernels.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -105,3 +107,58 @@ def test_cles_at_paper_population_size(benchmark):
     b = rng.lognormal(0.05, 0.3, 800)
     value = benchmark(cles_smaller, a, b)
     assert 0 <= value <= 1
+
+
+def _uncached_index_matrix_to_features(space, indices):
+    """The pre-cache implementation: rebuilds every lookup table per call."""
+    indices = np.asarray(indices, dtype=np.int64)
+    feats = np.empty(indices.shape, dtype=np.float64)
+    for c, p in enumerate(space.parameters):
+        col_values = np.array(
+            [p.to_feature(p.value_at(int(i))) for i in range(p.cardinality)]
+        )
+        feats[:, c] = col_values[indices[:, c]]
+    return feats
+
+
+def test_index_matrix_to_features_per_iteration(benchmark):
+    """Tuner-iteration-sized feature conversion (24 candidates/round)."""
+    rng = np.random.default_rng(0)
+    indices = SPACE.flats_to_index_matrix(rng.integers(0, SPACE.size, 24))
+    out = benchmark(SPACE.index_matrix_to_features, indices)
+    assert out.shape == (24, 6)
+
+
+def test_feature_table_cache_speedup():
+    """Cached per-space tables must beat per-call table rebuilds.
+
+    The conversion runs once per tuner iteration (small batches) and per
+    exhaustive-scan chunk, so the per-call rebuild of six Python-level
+    lookup tables dominated at tuner-iteration batch sizes.
+    """
+    rng = np.random.default_rng(0)
+    indices = SPACE.flats_to_index_matrix(rng.integers(0, SPACE.size, 24))
+    calls = 300
+
+    np.testing.assert_array_equal(
+        SPACE.index_matrix_to_features(indices),
+        _uncached_index_matrix_to_features(SPACE, indices),
+    )
+
+    best_cached = best_uncached = float("inf")
+    for _ in range(5):  # best-of-5 to shrug off scheduler noise
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            SPACE.index_matrix_to_features(indices)
+        best_cached = min(best_cached, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            _uncached_index_matrix_to_features(SPACE, indices)
+        best_uncached = min(best_uncached, time.perf_counter() - t0)
+
+    speedup = best_uncached / best_cached
+    assert speedup > 1.5, (
+        f"cached feature tables give only {speedup:.2f}x over per-call "
+        f"rebuilds (cached {best_cached * 1e3:.1f}ms vs uncached "
+        f"{best_uncached * 1e3:.1f}ms for {calls} calls)"
+    )

@@ -17,6 +17,7 @@ import sys
 from typing import List, Optional
 
 from .experiments import ExperimentDesign, StudyConfig, run_study
+from .parallel import TaskError
 from .gpu.arch import PAPER_ARCHITECTURES
 from .kernels import PAPER_KERNEL_NAMES
 from .reporting import (
@@ -67,6 +68,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes (1 = serial)")
     parser.add_argument("--paper-scale", action="store_true",
                         help="run the paper's full design (slow!)")
+    parser.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="stream completed cells to a JSONL checkpoint; rerunning "
+             "with the same PATH resumes, skipping completed cells",
+    )
+    parser.add_argument(
+        "--failure-policy", choices=["fail_fast", "collect"],
+        default="fail_fast",
+        help="fail_fast: abort on the first failed cell; collect: run "
+             "everything and report failed cells at the end",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="per-cell retries (capped backoff) for transient errors",
+    )
     parser.add_argument("--save", metavar="PATH",
                         help="save results JSON to PATH")
     parser.add_argument("--svg-dir", metavar="DIR",
@@ -97,7 +113,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
     )
     print(f"design: {design.describe()}")
-    results = run_study(config, progress=True)
+    try:
+        results = run_study(
+            config,
+            progress=True,
+            checkpoint=args.checkpoint,
+            failure_policy=args.failure_policy,
+            retries=args.retries,
+        )
+    except TaskError as err:
+        cell = getattr(err.task, "cell_key", repr(err.task))
+        print(f"ERROR: cell {cell} failed: {err.cause!r}", file=sys.stderr)
+        if err.traceback:
+            print(err.traceback, file=sys.stderr)
+        if args.checkpoint:
+            print(
+                f"completed cells are checkpointed in {args.checkpoint}; "
+                f"rerun the same command to resume",
+                file=sys.stderr,
+            )
+        return 1
+
+    if results.failed_cells:
+        print(f"WARNING: {len(results.failed_cells)} cells failed:")
+        for cell in results.failed_cells:
+            print(f"  {cell['cell_key']}: {cell['error']}")
 
     if args.save:
         results.save(args.save)

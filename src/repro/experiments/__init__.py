@@ -1,5 +1,6 @@
 """The paper's experimental pipeline: design, datasets, optima, studies."""
 
+from .checkpoint import CheckpointMismatchError, StudyCheckpoint
 from .dataset import PrecollectedDataset, collect_dataset
 from .design import (
     PAPER_EXPERIMENTS_AT_LARGEST,
@@ -9,10 +10,21 @@ from .design import (
 )
 from .optimum import OptimumResult, clear_optimum_cache, find_true_optimum
 from .results import CellKey, ExperimentResult, StudyResults
-from .runner import ExperimentTask, run_experiment
+from .runner import (
+    ExperimentTask,
+    InjectedFailure,
+    NonFiniteResultError,
+    run_experiment,
+)
 from .study import StudyConfig, build_tasks, paper_study_config, run_study
+from .telemetry import StudyTelemetry
 
 __all__ = [
+    "StudyCheckpoint",
+    "CheckpointMismatchError",
+    "StudyTelemetry",
+    "NonFiniteResultError",
+    "InjectedFailure",
     "ExperimentDesign",
     "paper_design",
     "PAPER_SAMPLE_SIZES",

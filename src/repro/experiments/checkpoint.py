@@ -1,0 +1,192 @@
+"""Durable JSONL checkpointing for long-running studies.
+
+The paper's full design is ~3 million kernel samples — hours of compute
+even on the simulator — so a study must survive crashes, preemptions and
+deliberate interruption.  :class:`StudyCheckpoint` streams every completed
+:class:`~repro.experiments.results.ExperimentResult` to an append-only
+JSON-Lines file keyed by the task's ``cell_key``; on restart,
+``run_study(..., checkpoint=path)`` loads the file and skips every cell
+already completed.
+
+Because each cell's RNG streams are derived from its own key (see
+:mod:`repro.parallel.rng`), a resumed run is **bit-identical** to an
+uninterrupted run with the same ``root_seed`` — execution order and
+worker count never enter the results.
+
+File format (one JSON object per line)::
+
+    {"kind": "header", "version": 1, "root_seed": 20220530}
+    {"kind": "result", "cell_key": "rs/add/titan_v/25/0", "data": {...}}
+    {"kind": "failure", "cell_key": "...", "error": "...", "error_type":
+     "...", "traceback": "..."}
+
+* The header guards against resuming with a mismatched study seed.
+* ``result`` lines carry the full ``ExperimentResult`` as a dict.
+* ``failure`` lines are informational: failed cells are *retried* on
+  resume (only completed cells are skipped).
+* A torn final line — the signature of a killed process — is ignored on
+  load; every complete line before it is recovered.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional
+
+from .results import ExperimentResult
+
+__all__ = ["StudyCheckpoint", "CheckpointMismatchError"]
+
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointMismatchError(RuntimeError):
+    """The checkpoint on disk belongs to a different study configuration."""
+
+
+class StudyCheckpoint:
+    """Append-only JSONL store of per-cell study outcomes.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file.  Created (with a header line) on first write if
+        absent; loaded and validated if present.
+    root_seed:
+        The study's root seed.  ``None`` skips validation (read-only
+        inspection); otherwise a seed mismatch with an existing header
+        raises :class:`CheckpointMismatchError` — resuming a study under
+        a different seed would silently mix incompatible results.
+    """
+
+    def __init__(self, path, root_seed: Optional[int] = None) -> None:
+        self.path = Path(path)
+        self.root_seed = root_seed
+        #: cell_key -> completed result, recovered from disk.
+        self.completed: Dict[str, ExperimentResult] = {}
+        #: cell_key -> recorded failure info (latest per cell).
+        self.failures: Dict[str, dict] = {}
+        self._fh = None
+        self._has_header = False
+        if self.path.exists():
+            self._load()
+
+    # -- loading --------------------------------------------------------------
+    def _load(self) -> None:
+        text = self.path.read_text()
+        lines = text.splitlines()
+        for lineno, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    # Torn final line from a killed writer; drop it.
+                    break
+                raise CheckpointMismatchError(
+                    f"{self.path}: line {lineno + 1} is not valid JSON — "
+                    f"the checkpoint is corrupt"
+                ) from None
+            kind = doc.get("kind")
+            if kind == "header":
+                self._check_header(doc)
+                self._has_header = True
+            elif kind == "result":
+                result = ExperimentResult(**doc["data"])
+                self.completed[doc["cell_key"]] = result
+            elif kind == "failure":
+                self.failures[doc["cell_key"]] = {
+                    k: doc.get(k, "")
+                    for k in ("error", "error_type", "traceback")
+                }
+            # Unknown kinds are skipped: forward compatibility.
+
+    def _check_header(self, doc: dict) -> None:
+        version = doc.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointMismatchError(
+                f"{self.path}: checkpoint version {version!r}, "
+                f"expected {CHECKPOINT_VERSION}"
+            )
+        if self.root_seed is not None and doc.get("root_seed") != self.root_seed:
+            raise CheckpointMismatchError(
+                f"{self.path}: checkpoint was written for root_seed="
+                f"{doc.get('root_seed')!r} but this study uses "
+                f"root_seed={self.root_seed} — results would not be "
+                f"comparable; use a fresh checkpoint path"
+            )
+
+    # -- introspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def __contains__(self, cell_key: str) -> bool:
+        return cell_key in self.completed
+
+    # -- writing --------------------------------------------------------------
+    def open(self) -> "StudyCheckpoint":
+        """Open for appending; writes the header on a fresh file."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._fh = self.path.open("a")
+            if fresh and not self._has_header:
+                self._write_line(
+                    {
+                        "kind": "header",
+                        "version": CHECKPOINT_VERSION,
+                        "root_seed": self.root_seed,
+                    }
+                )
+                self._has_header = True
+        return self
+
+    def _write_line(self, doc: dict) -> None:
+        if self._fh is None:
+            self.open()
+        self._fh.write(json.dumps(doc) + "\n")
+        # Flush per line: a killed run loses at most the line being torn.
+        self._fh.flush()
+
+    def record_result(self, cell_key: str, result: ExperimentResult) -> None:
+        self._write_line(
+            {"kind": "result", "cell_key": cell_key, "data": asdict(result)}
+        )
+        self.completed[cell_key] = result
+
+    def record_failure(
+        self,
+        cell_key: str,
+        error: str,
+        error_type: str = "",
+        traceback: str = "",
+    ) -> None:
+        self._write_line(
+            {
+                "kind": "failure",
+                "cell_key": cell_key,
+                "error": error,
+                "error_type": error_type,
+                "traceback": traceback,
+            }
+        )
+        self.failures[cell_key] = {
+            "error": error,
+            "error_type": error_type,
+            "traceback": traceback,
+        }
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "StudyCheckpoint":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -79,6 +79,17 @@ class StudyResults:
     def results(self) -> List[ExperimentResult]:
         return list(self._results)
 
+    @property
+    def failed_cells(self) -> List[dict]:
+        """Cells that failed during the study (from ``metadata``).
+
+        Each entry carries ``cell_key``, ``error``, ``error_type``,
+        ``traceback`` and ``attempts``; failed cells have no
+        :class:`ExperimentResult` row, so populations simply shrink
+        instead of figure generation crashing on poisoned values.
+        """
+        return list(self.metadata.get("failed_cells", []))
+
     # -- axes ------------------------------------------------------------------
     def _axis(self, attr: str) -> List:
         seen: Dict = {}

@@ -14,6 +14,7 @@ own key, making results independent of execution order and worker count.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -28,7 +29,40 @@ from ..search import DatasetTuner, Objective, make_tuner
 from .dataset import PrecollectedDataset
 from .results import ExperimentResult
 
-__all__ = ["ExperimentTask", "run_experiment"]
+__all__ = [
+    "ExperimentTask",
+    "run_experiment",
+    "NonFiniteResultError",
+    "InjectedFailure",
+]
+
+#: Comma-separated cell keys that :func:`run_experiment` fails on sight —
+#: a fault-injection hook for exercising the study's failure paths end to
+#: end (checkpointing, failure collection, retry) in tests and drills.
+FAIL_CELLS_ENV = "REPRO_FAIL_CELLS"
+
+
+class NonFiniteResultError(RuntimeError):
+    """The experiment's chosen configuration produced a non-finite runtime.
+
+    A tuner can select a ``best_config`` that fails to launch on the
+    (simulated) device, yielding ``inf``/``nan`` final runtimes.  Left in
+    the results, these poison downstream statistics (``cles_greater``
+    rejects non-finite samples during figure generation) — so the cell is
+    failed here, at measurement time, with an actionable message.
+    """
+
+
+class InjectedFailure(RuntimeError):
+    """Deliberate failure requested via the ``REPRO_FAIL_CELLS`` hook."""
+
+
+def _injected_failure_check(cell_key: str) -> None:
+    spec = os.environ.get(FAIL_CELLS_ENV)
+    if spec and cell_key in {k.strip() for k in spec.split(",")}:
+        raise InjectedFailure(
+            f"injected failure for cell {cell_key} ({FAIL_CELLS_ENV})"
+        )
 
 
 @dataclass(frozen=True)
@@ -60,7 +94,14 @@ class ExperimentTask:
 
 
 def run_experiment(task: ExperimentTask) -> ExperimentResult:
-    """Execute one experiment end-to-end (search + final re-evaluation)."""
+    """Execute one experiment end-to-end (search + final re-evaluation).
+
+    Raises :class:`NonFiniteResultError` if the chosen configuration's
+    final re-evaluation is non-finite (a failed launch), so the study
+    layer records a failed cell instead of propagating ``inf`` into the
+    statistics.
+    """
+    _injected_failure_check(task.cell_key)
     kernel = get_kernel(task.kernel, task.image_x, task.image_y)
     profile = kernel.profile()
     space = kernel.space()
@@ -123,6 +164,13 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
         for m in device.measure_repeated(result.best_config, task.final_repeats)
     ]
     final_ms = float(np.mean(finals))
+    if not np.isfinite(final_ms):
+        raise NonFiniteResultError(
+            f"cell {task.cell_key}: chosen configuration "
+            f"{result.best_config!r} produced a non-finite final runtime "
+            f"({final_ms} ms over {task.final_repeats} repeats) — the "
+            f"configuration likely fails to launch on {task.arch}"
+        )
 
     return ExperimentResult(
         algorithm=task.algorithm,

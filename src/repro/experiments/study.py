@@ -21,7 +21,7 @@ architecture lists.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,14 +29,16 @@ from ..gpu.arch import PAPER_ARCHITECTURES, get_architecture
 from ..gpu.device import SimulatedDevice
 from ..gpu.noise import DEFAULT_NOISE, NoiseModel
 from ..kernels import PAPER_KERNEL_NAMES, get_kernel
-from ..parallel import ParallelMap, RngFactory
+from ..parallel import ParallelMap, RngFactory, TaskOutcome
 from ..search import PAPER_ALGORITHM_NAMES, make_tuner
 from ..search.base import DatasetTuner
+from .checkpoint import StudyCheckpoint
 from .dataset import PrecollectedDataset, collect_dataset
 from .design import ExperimentDesign
 from .optimum import find_true_optimum
 from .results import StudyResults
 from .runner import ExperimentTask, run_experiment
+from .telemetry import StudyTelemetry
 
 __all__ = ["StudyConfig", "run_study", "paper_study_config"]
 
@@ -175,7 +177,10 @@ def build_tasks(
 def run_study(
     config: StudyConfig,
     compute_optima: bool = True,
-    progress: bool = False,
+    progress: Union[bool, Callable[[str], None]] = False,
+    checkpoint: Optional[object] = None,
+    failure_policy: str = "fail_fast",
+    retries: int = 0,
 ) -> StudyResults:
     """Run the full study described by ``config``.
 
@@ -186,28 +191,116 @@ def run_study(
         percentage-of-optimum metrics; skippable when only speedup/CLES
         figures are wanted).
     progress:
-        Print a line per completed phase (dataset, optima, experiments).
+        ``True`` prints progress lines (phase completions, throughput,
+        ETA); a callable receives the same lines instead of stdout.
+    checkpoint:
+        Path to a JSONL checkpoint file (see
+        :class:`~repro.experiments.checkpoint.StudyCheckpoint`).
+        Completed cells stream to it as they finish; on restart with the
+        same path, those cells are skipped and the merged results are
+        bit-identical to an uninterrupted run (per-cell RNG is derived
+        from the cell key, never from execution order).
+    failure_policy:
+        ``"fail_fast"`` (default) re-raises the first cell failure as
+        :class:`~repro.parallel.TaskError` naming the exact cell.
+        ``"collect"`` runs every cell, records failures in
+        ``StudyResults.metadata["failed_cells"]``, and returns the
+        surviving results.
+    retries:
+        Per-cell retry attempts (with capped exponential backoff) for
+        transient errors — see :data:`repro.parallel.DEFAULT_RETRYABLE`.
     """
     config.validate()
+    emit = print if progress is True else (progress or None)
+    telemetry = StudyTelemetry(emit=emit if callable(emit) else None)
 
     datasets: Dict[Tuple[str, str], PrecollectedDataset] = {}
     if _needs_dataset(config):
-        datasets = _collect_datasets(config)
-        if progress:
-            print(f"collected {len(datasets)} datasets "
-                  f"({config.design.dataset_rows_required} rows each)")
+        with telemetry.phase("dataset"):
+            datasets = _collect_datasets(config)
+        telemetry.line(
+            f"collected {len(datasets)} datasets "
+            f"({config.design.dataset_rows_required} rows each) "
+            f"in {telemetry.phase_seconds['dataset']:.1f}s"
+        )
 
     optima: Dict[Tuple[str, str], float] = {}
     if compute_optima:
-        optima = _compute_optima(config)
-        if progress:
-            print(f"scanned {len(optima)} landscapes for true optima")
+        with telemetry.phase("optima"):
+            optima = _compute_optima(config)
+        telemetry.line(
+            f"scanned {len(optima)} landscapes for true optima "
+            f"in {telemetry.phase_seconds['optima']:.1f}s"
+        )
 
     tasks = build_tasks(config, datasets)
-    if progress:
-        print(f"running {len(tasks)} experiments "
-              f"on {config.workers or 'all'} workers")
-    results = ParallelMap(workers=config.workers).map(run_experiment, tasks)
+
+    ckpt: Optional[StudyCheckpoint] = None
+    if checkpoint is not None:
+        ckpt = (
+            checkpoint
+            if isinstance(checkpoint, StudyCheckpoint)
+            else StudyCheckpoint(checkpoint, root_seed=config.root_seed)
+        )
+    done: Dict[str, object] = dict(ckpt.completed) if ckpt else {}
+    pending = [t for t in tasks if t.cell_key not in done]
+    telemetry.start_tasks(len(pending), skipped=len(tasks) - len(pending))
+    telemetry.line(
+        f"running {len(pending)} experiments "
+        f"on {config.workers or 'all'} workers"
+    )
+
+    def on_outcome(outcome: TaskOutcome) -> None:
+        telemetry.task_finished(outcome.ok)
+        if ckpt is not None:
+            if outcome.ok:
+                ckpt.record_result(outcome.task.cell_key, outcome.result)
+            else:
+                ckpt.record_failure(
+                    outcome.task.cell_key,
+                    error=repr(outcome.error),
+                    error_type=outcome.error_type,
+                    traceback=outcome.traceback,
+                )
+
+    pool = ParallelMap(
+        workers=config.workers,
+        failure_policy=failure_policy,
+        retries=retries,
+    )
+    try:
+        with telemetry.phase("experiments"):
+            outcomes = pool.run(run_experiment, pending, on_outcome=on_outcome)
+    finally:
+        if ckpt is not None:
+            ckpt.close()
+
+    by_key = {o.task.cell_key: o for o in outcomes}
+    results = []
+    failed_cells: List[dict] = []
+    for task in tasks:
+        if task.cell_key in done:
+            results.append(done[task.cell_key])
+            continue
+        outcome = by_key[task.cell_key]
+        if outcome.ok:
+            results.append(outcome.result)
+        else:
+            failed_cells.append(
+                {
+                    "cell_key": task.cell_key,
+                    "error": repr(outcome.error),
+                    "error_type": outcome.error_type,
+                    "traceback": outcome.traceback,
+                    "attempts": outcome.attempts,
+                }
+            )
+    if failed_cells:
+        telemetry.line(
+            f"{len(failed_cells)} cells failed: "
+            + ", ".join(f["cell_key"] for f in failed_cells[:10])
+            + ("…" if len(failed_cells) > 10 else "")
+        )
 
     metadata = {
         "design": config.design.schedule,
@@ -218,5 +311,9 @@ def run_study(
         "root_seed": config.root_seed,
         "final_repeats": config.final_repeats,
         "total_experiments": len(tasks),
+        "failed_cells": failed_cells,
+        "resumed_from_checkpoint": len(tasks) - len(pending),
+        "failure_policy": failure_policy,
+        "telemetry": telemetry.snapshot(),
     }
     return StudyResults(results=results, optima=optima, metadata=metadata)

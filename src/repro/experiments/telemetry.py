@@ -1,0 +1,163 @@
+"""Lightweight study observability: counts, throughput, ETA, phase times.
+
+A multi-hour study run is opaque without progress signals.
+:class:`StudyTelemetry` tracks
+
+* per-phase wall time (dataset collection, optimum scans, experiments),
+* completed / failed / skipped (resumed-from-checkpoint) cell counts,
+* experiment throughput and a simple remaining-work ETA,
+
+and emits human-readable progress lines through a pluggable ``emit``
+callable, so ``run_study(progress=True)`` prints to stdout while tests
+and services can capture the same stream.  :meth:`snapshot` returns the
+numbers as a dict for structured logging and for
+``StudyResults.metadata``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["StudyTelemetry"]
+
+
+class StudyTelemetry:
+    """Progress and timing accumulator for one study run.
+
+    Parameters
+    ----------
+    emit:
+        Sink for progress lines (e.g. ``print``).  ``None`` disables
+        emission; counters still accumulate.
+    report_every:
+        Emit an experiment-progress line every N completed tasks (in
+        addition to one final line).
+    clock:
+        Monotonic time source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        emit: Optional[Callable[[str], None]] = None,
+        report_every: int = 25,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._emit = emit
+        self._report_every = max(1, int(report_every))
+        self._clock = clock
+        self._started = clock()
+        self.phase_seconds: Dict[str, float] = {}
+        self.completed = 0
+        self.failed = 0
+        self.skipped = 0
+        self.total = 0
+        self._tasks_started: Optional[float] = None
+
+    # -- emission -------------------------------------------------------------
+    def line(self, message: str) -> None:
+        """Emit one progress line (no-op without a sink)."""
+        if self._emit is not None:
+            self._emit(message)
+
+    # -- phases ---------------------------------------------------------------
+    def phase(self, name: str) -> "_PhaseTimer":
+        """Context manager timing one named phase's wall clock."""
+        return _PhaseTimer(self, name)
+
+    # -- experiment progress ---------------------------------------------------
+    def start_tasks(self, total: int, skipped: int = 0) -> None:
+        """Begin the experiment phase: ``total`` cells to run now,
+        ``skipped`` already satisfied by a checkpoint."""
+        self.total = int(total)
+        self.skipped = int(skipped)
+        self._tasks_started = self._clock()
+        if skipped:
+            self.line(
+                f"checkpoint: {skipped} cells already complete, "
+                f"{total} to run"
+            )
+
+    def task_finished(self, ok: bool) -> None:
+        """Record one finished cell and emit a periodic progress line."""
+        if ok:
+            self.completed += 1
+        else:
+            self.failed += 1
+        done = self.completed + self.failed
+        if done == self.total or done % self._report_every == 0:
+            self.line(self.progress_line())
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def throughput(self) -> float:
+        """Finished experiments per second (0.0 before any finish)."""
+        if self._tasks_started is None:
+            return 0.0
+        dt = self._clock() - self._tasks_started
+        done = self.completed + self.failed
+        return done / dt if dt > 0 and done > 0 else 0.0
+
+    def eta_seconds(self) -> Optional[float]:
+        """Estimated seconds to finish the experiment phase."""
+        rate = self.throughput()
+        if rate <= 0:
+            return None
+        remaining = self.total - self.completed - self.failed
+        return max(0.0, remaining / rate)
+
+    def progress_line(self) -> str:
+        done = self.completed + self.failed
+        parts = [f"experiments: {done}/{self.total}"]
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        rate = self.throughput()
+        if rate > 0:
+            parts.append(f"{rate:.1f}/s")
+        eta = self.eta_seconds()
+        if eta is not None and done < self.total:
+            parts.append(f"ETA {_format_seconds(eta)}")
+        return ", ".join(parts)
+
+    # -- export ---------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The run's telemetry as a JSON-serializable dict."""
+        return {
+            "completed": self.completed,
+            "failed": self.failed,
+            "skipped": self.skipped,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "throughput_per_s": round(self.throughput(), 3),
+            "phase_seconds": {
+                k: round(v, 3) for k, v in self.phase_seconds.items()
+            },
+        }
+
+
+class _PhaseTimer:
+    def __init__(self, telemetry: StudyTelemetry, name: str) -> None:
+        self._telemetry = telemetry
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._t0 = self._telemetry._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = self._telemetry._clock() - self._t0
+        acc = self._telemetry.phase_seconds
+        acc[self._name] = acc.get(self._name, 0.0) + elapsed
+
+
+def _format_seconds(seconds: float) -> str:
+    seconds = int(round(seconds))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, sec = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m{sec:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"

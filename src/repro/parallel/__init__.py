@@ -1,6 +1,13 @@
 """Reproducible RNG streams and process-parallel experiment execution."""
 
-from .pool import ParallelMap, TaskError, default_worker_count
+from .pool import (
+    DEFAULT_RETRYABLE,
+    ParallelMap,
+    TaskError,
+    TaskOutcome,
+    TransientError,
+    default_worker_count,
+)
 from .rng import RngFactory, hash_key_to_entropy
 
 __all__ = [
@@ -8,5 +15,8 @@ __all__ = [
     "hash_key_to_entropy",
     "ParallelMap",
     "TaskError",
+    "TaskOutcome",
+    "TransientError",
+    "DEFAULT_RETRYABLE",
     "default_worker_count",
 ]

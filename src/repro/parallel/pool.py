@@ -6,11 +6,18 @@ The paper's study is a large cross-product of independent experiments
 parallelizes trivially across processes.  This module provides a small
 wrapper over :mod:`concurrent.futures` that
 
-* falls back to serial execution for ``workers <= 1`` (and inside pytest
-  where process spawning can be slow on tiny task lists),
+* runs serially for ``workers <= 1`` (or a single task) — no process
+  spawning, no pickling, easy debugging,
 * preserves input order in the output,
-* chunks tasks to amortize pickling overhead, and
-* surfaces worker exceptions with the failing task attached.
+* chunks tasks to amortize pickling overhead,
+* captures a **per-task outcome** (result, or exception + traceback
+  string) inside the worker, so a failure is always attributed to the
+  exact task that raised — never to an innocent chunk-mate,
+* supports two failure policies: ``"fail_fast"`` (raise
+  :class:`TaskError` on the first failure) and ``"collect"`` (run every
+  task to completion and report failures alongside successes), and
+* optionally retries tasks that raise *transient* errors with capped
+  exponential backoff.
 
 Per the mpi4py/HPC guidance this library follows, only picklable,
 coarse-grained work units are shipped to workers; all numeric inner loops
@@ -20,10 +27,21 @@ stay vectorized inside a single process.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence
+import pickle
+import time
+import traceback as _traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
 
-__all__ = ["ParallelMap", "default_worker_count"]
+__all__ = [
+    "ParallelMap",
+    "TaskError",
+    "TaskOutcome",
+    "TransientError",
+    "DEFAULT_RETRYABLE",
+    "default_worker_count",
+]
 
 
 def default_worker_count() -> int:
@@ -37,17 +55,117 @@ def default_worker_count() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-class TaskError(RuntimeError):
-    """A worker failed; carries the offending task for diagnosis."""
+class TransientError(RuntimeError):
+    """An error the caller knows may succeed on retry (e.g. a flaky I/O
+    path or an external measurement service hiccup).  Raise it — or list
+    other exception types in ``ParallelMap(retryable=...)`` — to opt a
+    failure into the retry-with-backoff path."""
 
-    def __init__(self, task: Any, cause: BaseException) -> None:
+
+#: Exception types retried by default (when ``retries > 0``).
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    TransientError,
+    OSError,
+    TimeoutError,
+    ConnectionError,
+)
+
+
+class TaskError(RuntimeError):
+    """A task failed; carries the offending task for diagnosis.
+
+    ``task`` is the exact task whose function call raised (not merely the
+    first task of the chunk it was shipped in), ``cause`` the exception,
+    and ``traceback`` the worker-side formatted traceback when the
+    failure happened in a worker process.
+    """
+
+    def __init__(
+        self, task: Any, cause: BaseException, traceback: str = ""
+    ) -> None:
         super().__init__(f"task {task!r} failed: {cause!r}")
         self.task = task
         self.cause = cause
+        self.traceback = traceback
 
 
-def _run_chunk(fn: Callable[[Any], Any], chunk: Sequence[Any]) -> List[Any]:
-    return [fn(task) for task in chunk]
+@dataclass
+class TaskOutcome:
+    """What happened to one task: a result, or a captured failure.
+
+    Outcomes are plain picklable records so workers can report failures
+    without re-raising across the process boundary (which would discard
+    the chunk-mates' finished results).
+    """
+
+    index: int
+    task: Any
+    result: Any = None
+    error: Optional[BaseException] = None
+    error_type: str = ""
+    traceback: str = ""
+    #: Number of attempts made (1 = first try succeeded or no retries).
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _picklable_error(exc: BaseException) -> BaseException:
+    """The exception itself if it pickles, else a faithful stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:  # noqa: BLE001 - any pickling failure
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _run_one(
+    fn: Callable[[Any], Any],
+    index: int,
+    task: Any,
+    retries: int,
+    backoff: float,
+    backoff_cap: float,
+    retryable: Tuple[Type[BaseException], ...],
+) -> TaskOutcome:
+    """Run one task, retrying transient failures with capped backoff."""
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return TaskOutcome(
+                index=index, task=task, result=fn(task), attempts=attempt
+            )
+        except Exception as exc:  # noqa: BLE001 - captured, not swallowed
+            if attempt <= retries and isinstance(exc, retryable):
+                time.sleep(min(backoff * 2 ** (attempt - 1), backoff_cap))
+                continue
+            return TaskOutcome(
+                index=index,
+                task=task,
+                error=_picklable_error(exc),
+                error_type=type(exc).__name__,
+                traceback=_traceback.format_exc(),
+                attempts=attempt,
+            )
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any],
+    start: int,
+    chunk: Sequence[Any],
+    retries: int,
+    backoff: float,
+    backoff_cap: float,
+    retryable: Tuple[Type[BaseException], ...],
+) -> List[TaskOutcome]:
+    """Worker entry point: per-task outcomes, never a chunk-wide raise."""
+    return [
+        _run_one(fn, start + i, task, retries, backoff, backoff_cap, retryable)
+        for i, task in enumerate(chunk)
+    ]
 
 
 class ParallelMap:
@@ -61,40 +179,177 @@ class ParallelMap:
     chunk_size:
         Tasks per inter-process message.  ``None`` -> balanced chunks
         (about 4 chunks per worker).
+    failure_policy:
+        ``"fail_fast"`` (default): :meth:`run` raises :class:`TaskError`
+        naming the exact failing task as soon as its failure is observed.
+        ``"collect"``: every task runs to completion; failures come back
+        as non-``ok`` :class:`TaskOutcome` rows.
+    retries:
+        Extra attempts per task for exceptions matching ``retryable``
+        (0 = no retries).  Non-retryable exceptions fail immediately.
+    backoff / backoff_cap:
+        Exponential backoff between attempts: the n-th retry sleeps
+        ``min(backoff * 2**(n-1), backoff_cap)`` seconds.
+    retryable:
+        Exception types eligible for retry (default
+        :data:`DEFAULT_RETRYABLE`).
     """
 
     def __init__(
-        self, workers: Optional[int] = None, chunk_size: Optional[int] = None
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        failure_policy: str = "fail_fast",
+        retries: int = 0,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        retryable: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE,
     ) -> None:
+        if failure_policy not in ("fail_fast", "collect"):
+            raise ValueError(
+                f"failure_policy must be 'fail_fast' or 'collect', "
+                f"got {failure_policy!r}"
+            )
         self.workers = default_worker_count() if workers is None else max(1, workers)
         self.chunk_size = chunk_size
+        self.failure_policy = failure_policy
+        self.retries = max(0, int(retries))
+        self.backoff = float(backoff)
+        self.backoff_cap = float(backoff_cap)
+        self.retryable = tuple(retryable)
 
+    # -- public API -----------------------------------------------------------
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
         """Apply ``fn`` to every task; results in input order.
+
+        Always fail-fast: the first failure raises :class:`TaskError`
+        naming the exact failing task.  Use :meth:`run` for per-task
+        outcomes under the configured failure policy.
 
         ``fn`` must be picklable (a module-level function) when
         ``workers > 1``.
         """
+        outcomes = self._execute(fn, tasks, fail_fast=True, on_outcome=None)
+        return [o.result for o in outcomes]
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
+    ) -> List[TaskOutcome]:
+        """Apply ``fn`` to every task; outcomes in input order.
+
+        ``on_outcome`` is called in the parent process as each outcome
+        becomes available (completion order, not input order) — the hook
+        checkpointing and telemetry build on.  Under ``"fail_fast"`` the
+        first failure raises :class:`TaskError` after the hook has seen
+        every outcome observed so far.
+        """
+        return self._execute(
+            fn,
+            tasks,
+            fail_fast=self.failure_policy == "fail_fast",
+            on_outcome=on_outcome,
+        )
+
+    # -- execution ------------------------------------------------------------
+    def _execute(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        fail_fast: bool,
+        on_outcome: Optional[Callable[[TaskOutcome], None]],
+    ) -> List[TaskOutcome]:
         tasks = list(tasks)
         if not tasks:
             return []
         if self.workers == 1 or len(tasks) == 1:
-            results = []
-            for task in tasks:
-                try:
-                    results.append(fn(task))
-                except Exception as exc:  # noqa: BLE001 - re-raise with context
-                    raise TaskError(task, exc) from exc
-            return results
+            return self._execute_serial(fn, tasks, fail_fast, on_outcome)
+        return self._execute_parallel(fn, tasks, fail_fast, on_outcome)
 
+    def _execute_serial(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: List[Any],
+        fail_fast: bool,
+        on_outcome: Optional[Callable[[TaskOutcome], None]],
+    ) -> List[TaskOutcome]:
+        outcomes: List[TaskOutcome] = []
+        for i, task in enumerate(tasks):
+            outcome = _run_one(
+                fn, i, task, self.retries, self.backoff, self.backoff_cap,
+                self.retryable,
+            )
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+            if fail_fast and not outcome.ok:
+                raise TaskError(
+                    outcome.task, outcome.error, outcome.traceback
+                ) from outcome.error
+        return outcomes
+
+    def _execute_parallel(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: List[Any],
+        fail_fast: bool,
+        on_outcome: Optional[Callable[[TaskOutcome], None]],
+    ) -> List[TaskOutcome]:
         chunk = self.chunk_size or max(1, len(tasks) // (self.workers * 4))
-        chunks = [tasks[i : i + chunk] for i in range(0, len(tasks), chunk)]
-        out: List[Any] = []
+        spans = [
+            (i, tasks[i : i + chunk]) for i in range(0, len(tasks), chunk)
+        ]
+        slots: List[Optional[TaskOutcome]] = [None] * len(tasks)
+        first_failure: Optional[TaskOutcome] = None
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = [pool.submit(_run_chunk, fn, c) for c in chunks]
-            for fut, c in zip(futures, chunks):
-                try:
-                    out.extend(fut.result())
-                except Exception as exc:  # noqa: BLE001
-                    raise TaskError(c[0], exc) from exc
-        return out
+            future_span = {
+                pool.submit(
+                    _run_chunk, fn, start, c, self.retries, self.backoff,
+                    self.backoff_cap, self.retryable,
+                ): (start, c)
+                for start, c in spans
+            }
+            pending = set(future_span)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    start, c = future_span[fut]
+                    try:
+                        chunk_outcomes = fut.result()
+                    except Exception as exc:  # noqa: BLE001
+                        # Infrastructure failure (broken pool, unpicklable
+                        # fn/result): no worker-side attribution exists, so
+                        # every task in the chunk is marked failed.
+                        chunk_outcomes = [
+                            TaskOutcome(
+                                index=start + i,
+                                task=t,
+                                error=exc,
+                                error_type=type(exc).__name__,
+                                traceback=_traceback.format_exc(),
+                            )
+                            for i, t in enumerate(c)
+                        ]
+                    for outcome in chunk_outcomes:
+                        slots[outcome.index] = outcome
+                        if on_outcome is not None:
+                            on_outcome(outcome)
+                        if not outcome.ok and (
+                            first_failure is None
+                            or outcome.index < first_failure.index
+                        ):
+                            first_failure = outcome
+                if fail_fast and first_failure is not None:
+                    for fut in pending:
+                        fut.cancel()
+                    break
+        if fail_fast and first_failure is not None:
+            raise TaskError(
+                first_failure.task,
+                first_failure.error,
+                first_failure.traceback,
+            ) from first_failure.error
+        # collect mode drains everything, so every slot is filled.
+        return [o for o in slots if o is not None]

@@ -85,6 +85,17 @@ class SearchSpace:
             [np.cumprod(cards[::-1])[::-1][1:], np.array([1], dtype=np.int64)]
         )
         self._size = int(np.prod(cards))
+        # Per-parameter ordinal-index -> feature lookup tables, built once:
+        # index_matrix_to_features runs on every tuner iteration and every
+        # exhaustive-scan chunk, so rebuilding these inside the call was a
+        # measurable hot-path cost.
+        self._feature_tables = tuple(
+            np.array(
+                [p.to_feature(p.value_at(i)) for i in range(p.cardinality)],
+                dtype=np.float64,
+            )
+            for p in self._parameters
+        )
 
     # -- basic introspection ------------------------------------------------
     @property
@@ -199,18 +210,15 @@ class SearchSpace:
         """Index-vector matrix ``(n, d)`` -> feature matrix ``(n, d)``."""
         indices = np.asarray(indices, dtype=np.int64)
         feats = np.empty(indices.shape, dtype=np.float64)
-        for c, p in enumerate(self._parameters):
-            col_values = np.array([p.to_feature(p.value_at(int(i)))
-                                   for i in range(p.cardinality)])
-            feats[:, c] = col_values[indices[:, c]]
+        for c, table in enumerate(self._feature_tables):
+            feats[:, c] = table[indices[:, c]]
         return feats
 
     def feature_bounds(self) -> np.ndarray:
         """``(d, 2)`` array of [min, max] feature values per dimension."""
         bounds = np.empty((self.dimensions, 2), dtype=np.float64)
-        for c, p in enumerate(self._parameters):
-            feats = [p.to_feature(v) for v in p.values()]
-            bounds[c] = (min(feats), max(feats))
+        for c, table in enumerate(self._feature_tables):
+            bounds[c] = (table.min(), table.max())
         return bounds
 
     # -- feasibility ----------------------------------------------------------

@@ -1,0 +1,112 @@
+"""Unit tests for the JSONL study checkpoint store."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    CheckpointMismatchError,
+    ExperimentResult,
+    StudyCheckpoint,
+)
+
+
+def make_result(experiment=0, runtime=1.5):
+    return ExperimentResult(
+        algorithm="random_search",
+        kernel="add",
+        arch="titan_v",
+        sample_size=25,
+        experiment=experiment,
+        final_runtime_ms=runtime,
+        best_flat=123,
+        observed_best_ms=1.4,
+        samples_used=25,
+    )
+
+
+class TestRoundTrip:
+    def test_results_survive_reload(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        with StudyCheckpoint(path, root_seed=42) as ckpt:
+            ckpt.record_result("rs/add/titan_v/25/0", make_result(0))
+            ckpt.record_result("rs/add/titan_v/25/1", make_result(1, 2.5))
+
+        reloaded = StudyCheckpoint(path, root_seed=42)
+        assert len(reloaded) == 2
+        assert "rs/add/titan_v/25/0" in reloaded
+        assert reloaded.completed["rs/add/titan_v/25/1"] == make_result(1, 2.5)
+
+    def test_failures_recorded_but_not_completed(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        with StudyCheckpoint(path, root_seed=42) as ckpt:
+            ckpt.record_failure(
+                "rs/add/titan_v/25/0", error="boom", error_type="RuntimeError"
+            )
+        reloaded = StudyCheckpoint(path, root_seed=42)
+        assert len(reloaded) == 0  # failed cells are retried on resume
+        assert reloaded.failures["rs/add/titan_v/25/0"]["error"] == "boom"
+
+    def test_append_across_sessions(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        with StudyCheckpoint(path, root_seed=7) as ckpt:
+            ckpt.record_result("a", make_result(0))
+        with StudyCheckpoint(path, root_seed=7) as ckpt:
+            assert "a" in ckpt
+            ckpt.record_result("b", make_result(1))
+        assert len(StudyCheckpoint(path, root_seed=7)) == 2
+
+
+class TestCorruptionHandling:
+    def test_torn_final_line_ignored(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        with StudyCheckpoint(path, root_seed=42) as ckpt:
+            ckpt.record_result("a", make_result(0))
+            ckpt.record_result("b", make_result(1))
+        # Simulate a kill mid-write: truncate the last line.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 25])
+        reloaded = StudyCheckpoint(path, root_seed=42)
+        assert "a" in reloaded
+        assert "b" not in reloaded  # torn row dropped, will be re-run
+
+    def test_mid_file_garbage_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        with StudyCheckpoint(path, root_seed=42) as ckpt:
+            ckpt.record_result("a", make_result(0))
+        path.write_text("not json\n" + path.read_text())
+        with pytest.raises(CheckpointMismatchError):
+            StudyCheckpoint(path, root_seed=42)
+
+
+class TestHeaderValidation:
+    def test_seed_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        with StudyCheckpoint(path, root_seed=42) as ckpt:
+            ckpt.record_result("a", make_result(0))
+        with pytest.raises(CheckpointMismatchError, match="root_seed"):
+            StudyCheckpoint(path, root_seed=43)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "version": 999, "root_seed": 42})
+            + "\n"
+        )
+        with pytest.raises(CheckpointMismatchError, match="version"):
+            StudyCheckpoint(path, root_seed=42)
+
+    def test_none_seed_skips_validation(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        with StudyCheckpoint(path, root_seed=42) as ckpt:
+            ckpt.record_result("a", make_result(0))
+        inspect = StudyCheckpoint(path)  # read-only inspection
+        assert "a" in inspect
+
+    def test_unknown_kinds_skipped(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        with StudyCheckpoint(path, root_seed=42) as ckpt:
+            ckpt.record_result("a", make_result(0))
+        with path.open("a") as fh:
+            fh.write(json.dumps({"kind": "future_extension", "x": 1}) + "\n")
+        assert "a" in StudyCheckpoint(path, root_seed=42)

@@ -1,0 +1,89 @@
+"""Unit tests for study telemetry (counts, throughput, ETA, phases)."""
+
+from repro.experiments import StudyTelemetry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestPhases:
+    def test_phase_wall_time_recorded(self):
+        clock = FakeClock()
+        t = StudyTelemetry(clock=clock)
+        with t.phase("dataset"):
+            clock.advance(2.5)
+        with t.phase("optima"):
+            clock.advance(1.0)
+        assert t.phase_seconds["dataset"] == 2.5
+        assert t.phase_seconds["optima"] == 1.0
+
+    def test_repeated_phase_accumulates(self):
+        clock = FakeClock()
+        t = StudyTelemetry(clock=clock)
+        for _ in range(3):
+            with t.phase("experiments"):
+                clock.advance(1.0)
+        assert t.phase_seconds["experiments"] == 3.0
+
+
+class TestProgress:
+    def test_counts_and_throughput(self):
+        clock = FakeClock()
+        t = StudyTelemetry(clock=clock)
+        t.start_tasks(10)
+        for _ in range(4):
+            clock.advance(0.5)
+            t.task_finished(ok=True)
+        clock.advance(0.5)
+        t.task_finished(ok=False)
+        assert t.completed == 4
+        assert t.failed == 1
+        assert t.throughput() == 5 / 2.5
+
+    def test_eta(self):
+        clock = FakeClock()
+        t = StudyTelemetry(clock=clock)
+        t.start_tasks(10)
+        for _ in range(5):
+            clock.advance(1.0)
+            t.task_finished(ok=True)
+        assert t.eta_seconds() == 5.0  # 5 remaining at 1/s
+
+    def test_eta_none_before_any_finish(self):
+        t = StudyTelemetry()
+        t.start_tasks(10)
+        assert t.eta_seconds() is None
+
+    def test_emit_lines(self):
+        lines = []
+        clock = FakeClock()
+        t = StudyTelemetry(emit=lines.append, report_every=2, clock=clock)
+        t.start_tasks(4, skipped=3)
+        for _ in range(4):
+            clock.advance(1.0)
+            t.task_finished(ok=True)
+        assert any("checkpoint: 3 cells already complete" in l for l in lines)
+        progress = [l for l in lines if l.startswith("experiments:")]
+        assert progress[-1].startswith("experiments: 4/4")
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        clock = FakeClock()
+        t = StudyTelemetry(clock=clock)
+        with t.phase("dataset"):
+            clock.advance(1.0)
+        t.start_tasks(2)
+        clock.advance(1.0)
+        t.task_finished(ok=True)
+        snap = json.loads(json.dumps(t.snapshot()))
+        assert snap["completed"] == 1
+        assert snap["phase_seconds"]["dataset"] == 1.0

@@ -4,7 +4,13 @@ import os
 
 import pytest
 
-from repro.parallel import ParallelMap, TaskError, default_worker_count
+from repro.parallel import (
+    ParallelMap,
+    TaskError,
+    TaskOutcome,
+    TransientError,
+    default_worker_count,
+)
 
 
 def square(x):
@@ -15,6 +21,22 @@ def failing(x):
     if x == 3:
         raise RuntimeError("boom")
     return x
+
+
+def failing_many(x):
+    if x % 3 == 0:
+        raise ValueError(f"bad task {x}")
+    return x * 10
+
+
+def flaky_until_marker(arg):
+    """Fails with TransientError until a marker file exists (cross-process)."""
+    x, marker = arg
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("seen")
+        raise TransientError("first attempt flake")
+    return x * 2
 
 
 class TestSerial:
@@ -51,6 +73,103 @@ class TestParallel:
     def test_workers_floor_at_one(self):
         pm = ParallelMap(workers=0)
         assert pm.workers == 1
+
+
+class TestFailureAttribution:
+    """Regression: a mid-chunk failure must name the task that raised,
+    not the first task of the chunk it happened to be shipped in."""
+
+    def test_serial_names_exact_task(self):
+        with pytest.raises(TaskError) as err:
+            ParallelMap(workers=1).map(failing, [1, 2, 3, 4])
+        assert err.value.task == 3
+
+    def test_parallel_names_exact_task_mid_chunk(self):
+        # chunk_size=4 puts the failing task 3 mid-chunk ([0..3], [4..7]):
+        # the old code blamed chunk[0] == 0.
+        with pytest.raises(TaskError) as err:
+            ParallelMap(workers=2, chunk_size=4).map(
+                failing, list(range(8))
+            )
+        assert err.value.task == 3
+        assert isinstance(err.value.cause, RuntimeError)
+        assert "boom" in err.value.traceback
+
+    def test_parallel_traceback_captured(self):
+        with pytest.raises(TaskError) as err:
+            ParallelMap(workers=2, chunk_size=2).map(
+                failing, list(range(6))
+            )
+        assert "RuntimeError" in err.value.traceback
+
+
+class TestCollectPolicy:
+    def test_collect_runs_everything(self):
+        pm = ParallelMap(workers=1, failure_policy="collect")
+        outcomes = pm.run(failing_many, list(range(7)))
+        assert len(outcomes) == 7
+        failed = [o for o in outcomes if not o.ok]
+        assert [o.task for o in failed] == [0, 3, 6]
+        ok = [o for o in outcomes if o.ok]
+        assert [o.result for o in ok] == [10, 20, 40, 50]
+
+    def test_collect_parallel_order_and_attribution(self):
+        pm = ParallelMap(workers=2, chunk_size=2, failure_policy="collect")
+        outcomes = pm.run(failing_many, list(range(10)))
+        assert [o.task for o in outcomes] == list(range(10))
+        for o in outcomes:
+            if o.task % 3 == 0:
+                assert not o.ok
+                assert o.error_type == "ValueError"
+                assert f"bad task {o.task}" in str(o.error)
+            else:
+                assert o.ok and o.result == o.task * 10
+
+    def test_on_outcome_sees_every_task(self):
+        seen = []
+        pm = ParallelMap(workers=1, failure_policy="collect")
+        pm.run(failing_many, list(range(5)), on_outcome=seen.append)
+        assert sorted(o.task for o in seen) == list(range(5))
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelMap(failure_policy="ignore")
+
+
+class TestRetry:
+    def test_serial_retry_transient(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        pm = ParallelMap(workers=1, retries=2, backoff=0.001)
+        outcomes = pm.run(flaky_until_marker, [(7, marker)])
+        assert outcomes[0].ok
+        assert outcomes[0].result == 14
+        assert outcomes[0].attempts == 2
+
+    def test_parallel_retry_transient(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        pm = ParallelMap(
+            workers=2, chunk_size=1, retries=2, backoff=0.001
+        )
+        outcomes = pm.run(
+            flaky_until_marker, [(7, marker), (8, str(tmp_path / "m2"))]
+        )
+        assert all(o.ok for o in outcomes)
+        assert [o.result for o in outcomes] == [14, 16]
+
+    def test_non_retryable_fails_immediately(self):
+        pm = ParallelMap(
+            workers=1, retries=3, backoff=0.001, failure_policy="collect"
+        )
+        outcomes = pm.run(failing, [3])
+        assert not outcomes[0].ok
+        assert outcomes[0].attempts == 1
+
+    def test_no_retries_by_default(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        pm = ParallelMap(workers=1, failure_policy="collect")
+        outcomes = pm.run(flaky_until_marker, [(7, marker)])
+        assert not outcomes[0].ok
+        assert outcomes[0].error_type == "TransientError"
 
 
 class TestDefaults:

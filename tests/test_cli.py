@@ -79,3 +79,44 @@ class TestMain:
         )
         assert rc == 0
         assert "Fig.2" not in capsys.readouterr().out
+
+    def test_checkpoint_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "study.jsonl"
+        argv = [
+            "--algorithms", "random_search",
+            "--kernels", "add",
+            "--archs", "titan_v",
+            "--sample-sizes", "25",
+            "--experiments-at-largest", "2",
+            "--image-size", "512",
+            "--no-figures",
+            "--checkpoint", str(ckpt),
+        ]
+        assert main(argv) == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+        assert main(argv) == 0  # resume: every cell already complete
+        assert "2 cells already complete" in capsys.readouterr().out
+
+    def test_collect_policy_reports_failed_cells(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_FAIL_CELLS", "random_search/add/titan_v/25/0"
+        )
+        rc = main(
+            [
+                "--algorithms", "random_search",
+                "--kernels", "add",
+                "--archs", "titan_v",
+                "--sample-sizes", "25",
+                "--experiments-at-largest", "2",
+                "--image-size", "512",
+                "--no-figures",
+                "--failure-policy", "collect",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 cells failed" in out
+        assert "random_search/add/titan_v/25/0" in out
