@@ -8,19 +8,28 @@ Installed as ``repro-study``::
 
 Defaults run a small smoke-scale study; ``--paper-scale`` switches to the
 full design from the paper (hours of compute).
+
+Figures and data artifacts go to **stdout** (pipeable); progress,
+warnings, and bookkeeping lines go to **stderr** (``--quiet`` silences
+them).  ``--trace-dir`` records search-trajectory JSONL (readable with
+``python -m repro.obs.read``), ``--metrics-out`` exports the study's
+metrics registry, and ``--convergence`` prints best-so-far plots.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .experiments import ExperimentDesign, StudyConfig, run_study
+from .obs import MetricsRegistry
 from .parallel import TaskError
 from .gpu.arch import PAPER_ARCHITECTURES
 from .kernels import PAPER_KERNEL_NAMES
 from .reporting import (
+    convergence_plots,
     figure2,
     figure3,
     figure4a,
@@ -89,11 +98,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write every figure as SVG into DIR")
     parser.add_argument("--no-figures", action="store_true",
                         help="skip printing figures")
+    parser.add_argument(
+        "--trace-dir", metavar="DIR",
+        help="record search-trajectory events as JSONL into DIR (one "
+             "trace-<pid>.jsonl per worker; inspect with "
+             "`python -m repro.obs.read DIR --validate --cells`)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="export the study's metrics registry to PATH — Prometheus "
+             "text format, or JSON when PATH ends in .json",
+    )
+    parser.add_argument(
+        "--convergence", action="store_true",
+        help="print median+IQR best-so-far convergence plots per "
+             "(kernel, arch) panel",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress progress/status lines on stderr (figures and "
+             "data still print to stdout)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+
+    # Status/progress goes to stderr so stdout stays pipeable (figures,
+    # plots); --quiet silences status but never hard errors.
+    def status(message: str) -> None:
+        if not args.quiet:
+            print(message, file=sys.stderr)
 
     if args.paper_scale:
         design = ExperimentDesign()
@@ -112,14 +148,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         root_seed=args.seed,
         workers=args.workers,
     )
-    print(f"design: {design.describe()}")
+    status(f"design: {design.describe()}")
+    registry = MetricsRegistry()
     try:
         results = run_study(
             config,
-            progress=True,
+            progress=status,
             checkpoint=args.checkpoint,
             failure_policy=args.failure_policy,
             retries=args.retries,
+            trace_dir=args.trace_dir,
+            metrics=registry,
         )
     except TaskError as err:
         cell = getattr(err.task, "cell_key", repr(err.task))
@@ -135,13 +174,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
 
     if results.failed_cells:
-        print(f"WARNING: {len(results.failed_cells)} cells failed:")
+        status(f"WARNING: {len(results.failed_cells)} cells failed:")
         for cell in results.failed_cells:
-            print(f"  {cell['cell_key']}: {cell['error']}")
+            status(f"  {cell['cell_key']}: {cell['error']}")
 
     if args.save:
         results.save(args.save)
-        print(f"saved {len(results)} results to {args.save}")
+        status(f"saved {len(results)} results to {args.save}")
+
+    if args.metrics_out:
+        out = Path(args.metrics_out)
+        if out.parent and not out.parent.exists():
+            out.parent.mkdir(parents=True, exist_ok=True)
+        if out.suffix == ".json":
+            out.write_text(registry.to_json_text())
+        else:
+            out.write_text(registry.to_prometheus())
+        status(f"wrote metrics to {out}")
+    if args.trace_dir:
+        status(
+            f"trace JSONL in {args.trace_dir} "
+            f"(read with `python -m repro.obs.read {args.trace_dir}`)"
+        )
 
     if not args.no_figures:
         for panel in figure2(results).panels.values():
@@ -155,8 +209,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print()
                     print(render_heatmap(panel, fmt="{:7.3f}"))
 
+    conv_panels = {}
+    if args.convergence:
+        conv_panels = convergence_plots(results)
+        if not conv_panels:
+            status("no convergence curves recorded in these results")
+        for plot in conv_panels.values():
+            print()
+            print(render_lineplot(plot))
+
     if args.svg_dir:
-        from .reporting import save_figure_svg
+        from .reporting import lineplot_svg, save_figure_svg
 
         written = save_figure_svg(figure2(results), args.svg_dir)
         written += save_figure_svg(figure3(results), args.svg_dir)
@@ -167,7 +230,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             written += save_figure_svg(
                 figure4b(results), args.svg_dir, fmt="{:.2f}"
             )
-        print(f"wrote {len(written)} SVG files to {args.svg_dir}")
+        for (kernel, arch), plot in conv_panels.items():
+            path = Path(args.svg_dir) / f"convergence_{kernel}_{arch}.svg"
+            path.write_text(lineplot_svg(plot))
+            written.append(path)
+        status(f"wrote {len(written)} SVG files to {args.svg_dir}")
     return 0
 
 

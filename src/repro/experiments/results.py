@@ -16,6 +16,7 @@ expensive studies and the reporting layer can run standalone.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -45,6 +46,18 @@ class ExperimentResult:
     observed_best_ms: float
     #: Measurements consumed by the search itself (= sample size).
     samples_used: int
+    #: Best-so-far runtime after each evaluation (the convergence
+    #: trajectory; ``inf`` entries while every sample so far failed to
+    #: launch).  Empty for results recorded before this field existed.
+    convergence: List[float] = field(default_factory=list)
+    #: Per-cell observability counters (``evaluations_total``,
+    #: ``launch_failures_total``, timing histogram sums/counts, ...)
+    #: merged into the study-level registry — this is how worker-process
+    #: metrics cross the pool boundary and survive checkpoint resume.
+    #: Excluded from equality: timing sums are wall-clock measurements,
+    #: and observability metadata must not affect result identity (the
+    #: checkpoint-resume bit-identical contract).
+    metrics: Dict[str, float] = field(default_factory=dict, compare=False)
 
 
 #: (algorithm, kernel, arch, sample_size) — one population of experiments.
@@ -132,6 +145,60 @@ class StudyResults:
                 f"{sample_size})"
             )
         return np.asarray(vals, dtype=np.float64)
+
+    def convergence_curves(
+        self, algorithm: str, kernel: str, arch: str, sample_size: int
+    ) -> np.ndarray:
+        """Best-so-far curves of one cell, shape ``(n_experiments, L)``.
+
+        Ragged curves (a tuner may stop a few evaluations early) are
+        padded by repeating their final best — the incumbent does not
+        change once the search stops.  Raises :class:`KeyError` when the
+        cell has no recorded curves (e.g. results loaded from a pre-
+        convergence file).
+        """
+        curves = [
+            r.convergence
+            for r in self._results
+            if r.algorithm == algorithm
+            and r.kernel == kernel
+            and r.arch == arch
+            and r.sample_size == sample_size
+            and r.convergence
+        ]
+        if not curves:
+            raise KeyError(
+                f"no convergence curves for cell ({algorithm}, {kernel}, "
+                f"{arch}, {sample_size})"
+            )
+        length = max(len(c) for c in curves)
+        out = np.empty((len(curves), length), dtype=np.float64)
+        for i, curve in enumerate(curves):
+            out[i, : len(curve)] = curve
+            out[i, len(curve):] = curve[-1]
+        return out
+
+    def convergence_stats(
+        self, algorithm: str, kernel: str, arch: str, sample_size: int
+    ) -> Dict[str, np.ndarray]:
+        """Median and IQR of the cell's best-so-far curves, per index.
+
+        ``inf`` entries (all samples failed so far) are excluded from the
+        quantiles; indices where *every* experiment is still at ``inf``
+        come back as ``nan``.
+        """
+        curves = self.convergence_curves(algorithm, kernel, arch, sample_size)
+        masked = np.where(np.isfinite(curves), curves, np.nan)
+        with warnings.catch_warnings():
+            # All-NaN slices (every run still failing at index i) are a
+            # legitimate state, not a numeric accident.
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            return {
+                "median": np.nanmedian(masked, axis=0),
+                "q1": np.nanpercentile(masked, 25, axis=0),
+                "q3": np.nanpercentile(masked, 75, axis=0),
+                "n": np.sum(np.isfinite(masked), axis=0),
+            }
 
     def optimum_for(self, kernel: str, arch: str) -> float:
         try:

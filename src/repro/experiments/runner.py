@@ -14,6 +14,7 @@ own key, making results independent of execution order and worker count.
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
@@ -24,8 +25,15 @@ from ..gpu.arch import get_architecture
 from ..gpu.device import SimulatedDevice
 from ..gpu.noise import DEFAULT_NOISE, NoiseModel
 from ..kernels import get_kernel
+from ..obs import NULL_TRACER, MetricsRegistry, tracer_for_dir
 from ..parallel.rng import RngFactory
-from ..search import DatasetTuner, Objective, make_tuner
+from ..search import (
+    DatasetTuner,
+    Objective,
+    best_so_far,
+    make_tuner,
+    trace_dataset_rows,
+)
 from .dataset import PrecollectedDataset
 from .results import ExperimentResult
 
@@ -84,6 +92,10 @@ class ExperimentTask:
     dataset_runtimes: Optional[Tuple[float, ...]] = None
     #: Constructor overrides for the tuner (ablations).
     tuner_kwargs: tuple = ()  # of (key, value) pairs, hashable
+    #: Trace directory for trajectory events (None disables tracing).
+    #: A string (not Path) so tasks stay cheaply picklable; each worker
+    #: process appends to its own ``trace-<pid>.jsonl`` inside it.
+    trace_dir: Optional[str] = None
 
     @property
     def cell_key(self) -> str:
@@ -117,6 +129,10 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
     search_rng = rngs.stream_for(task.cell_key + "/search")
     tuner = make_tuner(task.algorithm, **dict(task.tuner_kwargs))
 
+    cell = task.cell_key
+    tracer = tracer_for_dir(task.trace_dir) if task.trace_dir else NULL_TRACER
+    registry = MetricsRegistry()
+
     def measure(config: dict) -> float:
         return device.measure(config).runtime_ms
 
@@ -143,19 +159,58 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
                 f"{task.algorithm} (reserves {reserve} live runs)"
             )
         train = dataset.slice_for(n_train, 0)
+        train_configs = train.configs(space)
+        dataset_best = math.inf
+        if tracer.enabled:
+            tracer.event(
+                "tuner_start",
+                cell=cell,
+                algorithm=task.algorithm,
+                budget=task.sample_size,
+            )
+            # Replay the pre-collected rows so the per-cell trace holds
+            # exactly sample_size evaluate events for every technique.
+            dataset_best = trace_dataset_rows(
+                tracer, cell, train_configs, train.runtimes_ms
+            )
         objective = (
-            Objective(space, measure, budget=reserve) if reserve > 0 else None
+            Objective(
+                space,
+                measure,
+                budget=reserve,
+                tracer=tracer,
+                metrics=registry,
+                cell=cell,
+                index_base=n_train,
+                initial_best_ms=dataset_best,
+            )
+            if reserve > 0
+            else None
         )
         result = tuner.tune_from_dataset(
             space,
-            train.configs(space),
+            train_configs,
             train.runtimes_ms,
             objective,
             search_rng,
         )
+        if tracer.enabled:
+            tracer.event(
+                "tuner_end",
+                cell=cell,
+                samples_used=int(result.samples_used),
+                best_ms=float(result.best_runtime_ms),
+            )
     else:
-        objective = Objective(space, measure, budget=task.sample_size)
-        result = tuner.tune(objective, search_rng)
+        objective = Objective(
+            space,
+            measure,
+            budget=task.sample_size,
+            tracer=tracer,
+            metrics=registry,
+            cell=cell,
+        )
+        result = tuner.run(objective, search_rng)
 
     # Final re-evaluation (Section VI-A): the chosen configuration runs
     # final_repeats more times; the mean is the reported outcome.
@@ -172,6 +227,28 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
             f"configuration likely fails to launch on {task.arch}"
         )
 
+    # Observability payloads.  The convergence curve comes from the full
+    # evaluation history (dataset rows included), so every technique gets
+    # one; the metrics dict carries this cell's counter deltas back to
+    # the study parent across the process-pool boundary.
+    convergence = best_so_far(result.history_runtimes)
+    cell_metrics = registry.flat_counters()
+    cell_metrics["evaluations_total"] = float(result.samples_used)
+    cell_metrics["launch_failures_total"] = float(
+        sum(1 for r in result.history_runtimes if not math.isfinite(r))
+    )
+    cell_metrics["device_launches_total"] = float(device.launches)
+    cell_metrics["final_repeats_total"] = float(task.final_repeats)
+
+    if tracer.enabled:
+        tracer.event(
+            "experiment_end",
+            cell=cell,
+            final_runtime_ms=final_ms,
+            samples_used=int(result.samples_used),
+            best_flat=int(space.config_to_flat(result.best_config)),
+        )
+
     return ExperimentResult(
         algorithm=task.algorithm,
         kernel=task.kernel,
@@ -182,4 +259,6 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
         best_flat=space.config_to_flat(result.best_config),
         observed_best_ms=result.best_runtime_ms,
         samples_used=result.samples_used,
+        convergence=convergence,
+        metrics=cell_metrics,
     )

@@ -29,6 +29,7 @@ from ..gpu.arch import PAPER_ARCHITECTURES, get_architecture
 from ..gpu.device import SimulatedDevice
 from ..gpu.noise import DEFAULT_NOISE, NoiseModel
 from ..kernels import PAPER_KERNEL_NAMES, get_kernel
+from ..obs import MetricsRegistry, global_registry
 from ..parallel import ParallelMap, RngFactory, TaskOutcome
 from ..search import PAPER_ALGORITHM_NAMES, make_tuner
 from ..search.base import DatasetTuner
@@ -136,6 +137,7 @@ def _compute_optima(config: StudyConfig) -> Dict[Tuple[str, str], float]:
 def build_tasks(
     config: StudyConfig,
     datasets: Dict[Tuple[str, str], PrecollectedDataset],
+    trace_dir: Optional[str] = None,
 ) -> List[ExperimentTask]:
     """The full task list for one study, in a deterministic order."""
     tasks: List[ExperimentTask] = []
@@ -169,6 +171,7 @@ def build_tasks(
                                 dataset_flats=flats,
                                 dataset_runtimes=runtimes,
                                 tuner_kwargs=config.overrides_for(alg),
+                                trace_dir=trace_dir,
                             )
                         )
     return tasks
@@ -181,6 +184,8 @@ def run_study(
     checkpoint: Optional[object] = None,
     failure_policy: str = "fail_fast",
     retries: int = 0,
+    trace_dir: Optional[object] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> StudyResults:
     """Run the full study described by ``config``.
 
@@ -209,10 +214,27 @@ def run_study(
     retries:
         Per-cell retry attempts (with capped exponential backoff) for
         transient errors — see :data:`repro.parallel.DEFAULT_RETRYABLE`.
+    trace_dir:
+        Directory for search-trajectory traces.  Each worker process
+        appends structured JSONL events (``tuner_start``, ``evaluate``,
+        ``incumbent_update``, ``model_fit``, ...) to its own
+        ``trace-<pid>.jsonl`` inside it.  ``None`` (default) disables
+        tracing with negligible overhead and bit-identical results.
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` to aggregate study-wide
+        counters into (``evaluations_total``, ``launch_failures_total``,
+        timing histogram sums, pool ``task_retries_total``, simulator
+        counters).  A private registry is used when ``None``; either way
+        the aggregate lands in ``StudyResults.metadata["metrics"]``.
     """
     config.validate()
     emit = print if progress is True else (progress or None)
     telemetry = StudyTelemetry(emit=emit if callable(emit) else None)
+    registry = metrics if metrics is not None else MetricsRegistry()
+    # Dataset collection and optimum scans run in *this* process and hit
+    # the process-global simulator counters; snapshot them so the delta
+    # can be folded into the study registry at the end.
+    _global_before = global_registry().flat_counters()
 
     datasets: Dict[Tuple[str, str], PrecollectedDataset] = {}
     if _needs_dataset(config):
@@ -233,7 +255,11 @@ def run_study(
             f"in {telemetry.phase_seconds['optima']:.1f}s"
         )
 
-    tasks = build_tasks(config, datasets)
+    tasks = build_tasks(
+        config,
+        datasets,
+        trace_dir=str(trace_dir) if trace_dir is not None else None,
+    )
 
     ckpt: Optional[StudyCheckpoint] = None
     if checkpoint is not None:
@@ -267,6 +293,7 @@ def run_study(
         workers=config.workers,
         failure_policy=failure_policy,
         retries=retries,
+        metrics=registry,
     )
     try:
         with telemetry.phase("experiments"):
@@ -302,6 +329,20 @@ def run_study(
             + ("…" if len(failed_cells) > 10 else "")
         )
 
+    # Fold every cell's counter deltas into the study registry (results
+    # carry them across the pool boundary — and across checkpoint resume,
+    # where the worker process that produced them is long gone), plus the
+    # parent-process simulator work (dataset collection, optimum scans).
+    for result in results:
+        registry.merge_flat(getattr(result, "metrics", {}) or {})
+    _global_after = global_registry().flat_counters()
+    parent_delta = {
+        name: _global_after[name] - _global_before.get(name, 0.0)
+        for name in _global_after
+        if _global_after[name] != _global_before.get(name, 0.0)
+    }
+    registry.merge_flat(parent_delta)
+
     metadata = {
         "design": config.design.schedule,
         "algorithms": list(config.algorithms),
@@ -315,5 +356,7 @@ def run_study(
         "resumed_from_checkpoint": len(tasks) - len(pending),
         "failure_policy": failure_policy,
         "telemetry": telemetry.snapshot(),
+        "metrics": registry.to_json(),
+        "trace_dir": str(trace_dir) if trace_dir is not None else None,
     }
     return StudyResults(results=results, optima=optima, metadata=metadata)

@@ -48,6 +48,11 @@ class StudyTelemetry:
         self._clock = clock
         self._started = clock()
         self.phase_seconds: Dict[str, float] = {}
+        #: Ordered phase records: ``{"name", "started_at", "seconds"}``,
+        #: where ``started_at`` is monotonic seconds since telemetry
+        #: construction (one entry per ``phase(...)`` block, so repeated
+        #: phases each appear).
+        self.phases: List[dict] = []
         self.completed = 0
         self.failed = 0
         self.skipped = 0
@@ -124,15 +129,19 @@ class StudyTelemetry:
     # -- export ---------------------------------------------------------------
     def snapshot(self) -> dict:
         """The run's telemetry as a JSON-serializable dict."""
+        eta = self.eta_seconds()
         return {
             "completed": self.completed,
             "failed": self.failed,
             "skipped": self.skipped,
+            "total": self.total,
             "elapsed_seconds": round(self.elapsed, 3),
             "throughput_per_s": round(self.throughput(), 3),
+            "eta_seconds": round(eta, 3) if eta is not None else None,
             "phase_seconds": {
                 k: round(v, 3) for k, v in self.phase_seconds.items()
             },
+            "phases": [dict(p) for p in self.phases],
         }
 
 
@@ -150,6 +159,13 @@ class _PhaseTimer:
         elapsed = self._telemetry._clock() - self._t0
         acc = self._telemetry.phase_seconds
         acc[self._name] = acc.get(self._name, 0.0) + elapsed
+        self._telemetry.phases.append(
+            {
+                "name": self._name,
+                "started_at": round(self._t0 - self._telemetry._started, 3),
+                "seconds": round(elapsed, 3),
+            }
+        )
 
 
 def _format_seconds(seconds: float) -> str:

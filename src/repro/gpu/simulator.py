@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.metrics import global_registry
 from .arch import GpuArchitecture
 from .compute import compute_demand
 from .geometry import derive_geometry
@@ -177,6 +178,19 @@ def simulate_runtimes(
     )
 
     total_ms = np.where(failure, np.inf, total_ms)
+
+    # Process-wide accounting: two counter adds per *batch*, so the
+    # vectorized hot path is unaffected.  Worker processes accumulate
+    # their own registries; per-cell deltas travel back to the study
+    # parent via ExperimentResult.metrics.
+    registry = global_registry()
+    registry.counter("simulator_evals_total").inc(float(configs.shape[0]))
+    failures = int(np.count_nonzero(failure))
+    if failures:
+        registry.counter("simulator_launch_failures_total").inc(
+            float(failures)
+        )
+
     return SimulationResult(
         runtime_ms=total_ms,
         launch_failure=failure,

@@ -1,0 +1,60 @@
+"""Zero-dependency observability: trajectory tracing and metrics.
+
+The study pipeline only ever recorded the *final* best configuration per
+cell; everything the paper argues about — how each search technique
+spends its sample budget — happened invisibly inside a tuner run.  This
+package makes that trajectory first-class:
+
+* :mod:`repro.obs.trace` — structured span/event tracing to append-only
+  JSONL, with a no-op implementation whose disabled-path overhead is a
+  single attribute check;
+* :mod:`repro.obs.metrics` — a process-local metrics registry (counters,
+  gauges, histograms) exportable as JSON and Prometheus text format;
+* :mod:`repro.obs.schema` — the trace event schema and its validator;
+* :mod:`repro.obs.read` — ``python -m repro.obs.read`` for summarizing
+  and validating trace files.
+
+Everything here is dependency-free and import-light so the hot paths
+(``Objective.evaluate``, the GPU simulator) can reference it without
+cost when observability is off.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    reset_global_registry,
+)
+from .schema import (
+    TRACE_SCHEMA_VERSION,
+    validate_event,
+    validate_trace_lines,
+    validate_trace_path,
+)
+from .trace import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    Tracer,
+    tracer_for_dir,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "JsonlTracer",
+    "NULL_TRACER",
+    "tracer_for_dir",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "global_registry",
+    "reset_global_registry",
+    "TRACE_SCHEMA_VERSION",
+    "validate_event",
+    "validate_trace_lines",
+    "validate_trace_path",
+]

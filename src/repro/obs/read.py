@@ -1,0 +1,151 @@
+"""Read, summarize and validate search-trajectory traces.
+
+Usage::
+
+    python -m repro.obs.read TRACE [TRACE ...] [--validate] [--cells] [--json]
+
+``TRACE`` is a trace JSONL file or a trace directory (every ``*.jsonl``
+inside is read — the study writes one file per worker process).  The
+default output is a summary: event counts by kind, number of cells, and
+evaluation totals.  ``--cells`` adds a per-cell table (evaluate events,
+incumbent updates, best runtime).  ``--validate`` checks every event
+against :mod:`repro.obs.schema` and exits non-zero on the first invalid
+trace — CI runs a tiny traced study and gates on exactly this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .schema import validate_trace_path
+
+__all__ = ["iter_trace_events", "summarize_events", "main"]
+
+
+def _trace_files(paths: Iterable[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.jsonl")))
+        else:
+            files.append(path)
+    return files
+
+
+def iter_trace_events(paths: Iterable[Path]) -> Iterator[dict]:
+    """Parsed events from files/directories, skipping torn final lines."""
+    for path in _trace_files(paths):
+        lines = path.read_text().splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines):
+                    continue  # torn final line from a killed writer
+                raise
+
+
+def summarize_events(events: Iterable[dict]) -> dict:
+    """Aggregate a trace into kind counts and per-cell statistics."""
+    kinds: Dict[str, int] = {}
+    cells: Dict[str, dict] = {}
+    for doc in events:
+        kind = doc.get("kind", "<missing>")
+        kinds[kind] = kinds.get(kind, 0) + 1
+        cell = doc.get("cell")
+        if cell is None:
+            continue
+        stats = cells.setdefault(
+            cell,
+            {"evaluate": 0, "incumbent_update": 0, "best_ms": None,
+             "model_fit": 0},
+        )
+        if kind == "evaluate":
+            stats["evaluate"] += 1
+            best = doc.get("best_ms")
+            if isinstance(best, (int, float)):
+                stats["best_ms"] = best
+        elif kind in ("incumbent_update", "model_fit"):
+            stats[kind] += 1
+    return {
+        "events": sum(kinds.values()),
+        "kinds": dict(sorted(kinds.items())),
+        "cells": cells,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.read",
+        description="Summarize and validate search-trajectory trace files.",
+    )
+    parser.add_argument(
+        "paths", nargs="+", metavar="TRACE",
+        help="trace .jsonl file(s) or trace directories",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="validate every event against the trace schema; exit 1 on "
+             "any error",
+    )
+    parser.add_argument(
+        "--cells", action="store_true",
+        help="print a per-cell table (evaluations, incumbents, best ms)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the summary as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"error: {p} does not exist", file=sys.stderr)
+        return 2
+
+    if args.validate:
+        errors: List[str] = []
+        for p in paths:
+            errors.extend(validate_trace_path(p))
+        if errors:
+            for err in errors:
+                print(f"schema error: {err}", file=sys.stderr)
+            print(f"{len(errors)} schema error(s)", file=sys.stderr)
+            return 1
+
+    summary = summarize_events(iter_trace_events(paths))
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+
+    print(f"events: {summary['events']}")
+    for kind, n in summary["kinds"].items():
+        print(f"  {kind}: {n}")
+    print(f"cells: {len(summary['cells'])}")
+    if args.cells:
+        width = max((len(c) for c in summary["cells"]), default=4)
+        print(f"{'cell':<{width}}  evals  incumbents  model_fits  best_ms")
+        for cell in sorted(summary["cells"]):
+            s = summary["cells"][cell]
+            best = "-" if s["best_ms"] is None else f"{s['best_ms']:.4f}"
+            print(
+                f"{cell:<{width}}  {s['evaluate']:>5}  "
+                f"{s['incumbent_update']:>10}  {s['model_fit']:>10}  {best}"
+            )
+    if args.validate:
+        print("schema: OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -193,6 +193,11 @@ class ParallelMap:
     retryable:
         Exception types eligible for retry (default
         :data:`DEFAULT_RETRYABLE`).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        pool-level instrumentation, recorded parent-side as outcomes
+        arrive: ``pool_tasks_total``, ``pool_task_failures_total``,
+        ``task_retries_total`` counters and the ``pool_workers`` gauge.
     """
 
     def __init__(
@@ -204,6 +209,7 @@ class ParallelMap:
         backoff: float = 0.05,
         backoff_cap: float = 2.0,
         retryable: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE,
+        metrics: Optional[object] = None,
     ) -> None:
         if failure_policy not in ("fail_fast", "collect"):
             raise ValueError(
@@ -217,6 +223,7 @@ class ParallelMap:
         self.backoff = float(backoff)
         self.backoff_cap = float(backoff_cap)
         self.retryable = tuple(retryable)
+        self.metrics = metrics
 
     # -- public API -----------------------------------------------------------
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
@@ -264,9 +271,39 @@ class ParallelMap:
         tasks = list(tasks)
         if not tasks:
             return []
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "pool_workers", help="Worker processes of the last pool run."
+            ).set(self.workers)
+            on_outcome = self._metered(on_outcome)
         if self.workers == 1 or len(tasks) == 1:
             return self._execute_serial(fn, tasks, fail_fast, on_outcome)
         return self._execute_parallel(fn, tasks, fail_fast, on_outcome)
+
+    def _metered(
+        self, on_outcome: Optional[Callable[[TaskOutcome], None]]
+    ) -> Callable[[TaskOutcome], None]:
+        """Chain pool-level metric recording in front of the user hook."""
+        metrics = self.metrics
+
+        def record(outcome: TaskOutcome) -> None:
+            metrics.counter(
+                "pool_tasks_total", help="Tasks finished by the pool."
+            ).inc()
+            if outcome.attempts > 1:
+                metrics.counter(
+                    "task_retries_total",
+                    help="Extra attempts spent on retried tasks.",
+                ).inc(outcome.attempts - 1)
+            if not outcome.ok:
+                metrics.counter(
+                    "pool_task_failures_total",
+                    help="Tasks whose final attempt raised.",
+                ).inc()
+            if on_outcome is not None:
+                on_outcome(outcome)
+
+        return record
 
     def _execute_serial(
         self,

@@ -1,5 +1,6 @@
 """Reporting: text heatmaps, ASCII line plots, figure/table generators."""
 
+from .convergence import convergence_plot, convergence_plots
 from .figures import (
     FigureGrid,
     algorithm_label,
@@ -31,6 +32,8 @@ __all__ = [
     "figure4a",
     "figure4b",
     "algorithm_label",
+    "convergence_plot",
+    "convergence_plots",
     "table1_row",
     "significance_matrix",
     "SignificanceCell",

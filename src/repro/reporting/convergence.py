@@ -1,0 +1,128 @@
+"""Convergence reports: median best-so-far trajectories with IQR bands.
+
+The paper evaluates search techniques by their *final* result per sample
+budget (Fig. 2-4); the convergence curves recorded by the observability
+layer show the path there — best-so-far runtime after each evaluation,
+aggregated across a cell's experiments.  :func:`convergence_plot` builds
+one :class:`~repro.reporting.lineplot.LinePlot` per (kernel, arch) panel
+with one series per algorithm (median across experiments, IQR band), so
+a run's search dynamics can be inspected in the terminal or exported as
+SVG/CSV like every other figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..experiments.results import StudyResults
+from .figures import algorithm_label
+from .lineplot import LinePlot, Series
+
+__all__ = ["convergence_plot", "convergence_plots"]
+
+
+def _downsample_indices(length: int, max_points: int) -> np.ndarray:
+    """Evenly spaced curve indices, always including first and last."""
+    if length <= max_points:
+        return np.arange(length)
+    return np.unique(
+        np.linspace(0, length - 1, max_points).round().astype(int)
+    )
+
+
+def convergence_plot(
+    results: StudyResults,
+    kernel: str,
+    arch: str,
+    sample_size: Optional[int] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    max_points: int = 24,
+) -> LinePlot:
+    """Median + IQR best-so-far curves for one (kernel, arch) panel.
+
+    Parameters
+    ----------
+    sample_size:
+        Which sample budget's cell to plot; defaults to the study's
+        largest (longest curves, most experiments at paper scale).
+    algorithms:
+        Subset/order of algorithms; defaults to every study algorithm
+        that recorded curves for this panel.
+    max_points:
+        Downsample each curve to at most this many evaluation indices
+        (first and last always kept) so terminal rendering stays legible.
+
+    Raises :class:`KeyError` when no algorithm has convergence curves for
+    the panel (e.g. results loaded from a pre-convergence file).
+    """
+    if sample_size is None:
+        sizes = results.sample_sizes
+        if not sizes:
+            raise KeyError("results hold no experiments")
+        sample_size = sizes[-1]
+    series: List[Series] = []
+    for alg in algorithms if algorithms is not None else results.algorithms:
+        try:
+            stats = results.convergence_stats(alg, kernel, arch, sample_size)
+        except KeyError:
+            continue
+        median = stats["median"]
+        finite = np.isfinite(median)
+        if not finite.any():
+            continue
+        idx = _downsample_indices(len(median), max_points)
+        idx = idx[finite[idx]]
+        if idx.size == 0:
+            continue
+        # nan band edges (indices where some runs were still all-failing)
+        # fall back to the median so the band stays well-defined.
+        q1 = np.where(np.isfinite(stats["q1"]), stats["q1"], median)
+        q3 = np.where(np.isfinite(stats["q3"]), stats["q3"], median)
+        series.append(
+            Series(
+                label=algorithm_label(alg),
+                x=[int(i) + 1 for i in idx],  # 1-based evaluation index
+                y=[float(median[i]) for i in idx],
+                y_low=[float(q1[i]) for i in idx],
+                y_high=[float(q3[i]) for i in idx],
+            )
+        )
+    if not series:
+        raise KeyError(
+            f"no convergence curves for ({kernel}, {arch}) at sample size "
+            f"{sample_size}; run the study with convergence recording "
+            f"(any post-observability run has it)"
+        )
+    return LinePlot(
+        title=(
+            f"Convergence {kernel} on {arch}: median best-so-far "
+            f"(IQR), S={sample_size}"
+        ),
+        series=series,
+        x_label="evaluation",
+        y_label="best runtime (ms)",
+    )
+
+
+def convergence_plots(
+    results: StudyResults,
+    sample_size: Optional[int] = None,
+    max_points: int = 24,
+) -> Dict[Tuple[str, str], LinePlot]:
+    """One convergence panel per (kernel, arch) that has curves."""
+    panels: Dict[Tuple[str, str], LinePlot] = {}
+    for kernel in results.kernels:
+        for arch in results.archs:
+            try:
+                panels[(kernel, arch)] = convergence_plot(
+                    results,
+                    kernel,
+                    arch,
+                    sample_size=sample_size,
+                    max_points=max_points,
+                )
+            except KeyError:
+                continue
+    return panels

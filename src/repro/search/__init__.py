@@ -11,6 +11,8 @@ from .base import (
     SequentialTuner,
     Tuner,
     TuningResult,
+    best_so_far,
+    trace_dataset_rows,
 )
 from .annealing import SimulatedAnnealingTuner
 from .bo_gp import BayesianGpTuner, expected_improvement
@@ -41,6 +43,8 @@ __all__ = [
     "SequentialTuner",
     "DatasetTuner",
     "TuningResult",
+    "best_so_far",
+    "trace_dataset_rows",
     "RandomSearchTuner",
     "RandomForestTuner",
     "GeneticAlgorithmTuner",

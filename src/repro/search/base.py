@@ -21,11 +21,14 @@ configuration is what counts.  The machinery here enforces that contract:
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from ..searchspace import SearchSpace
 
 __all__ = [
@@ -35,9 +38,29 @@ __all__ = [
     "Tuner",
     "SequentialTuner",
     "DatasetTuner",
+    "best_so_far",
+    "trace_dataset_rows",
 ]
 
 Configuration = Dict[str, int]
+
+
+def best_so_far(runtimes: Iterable[float]) -> List[float]:
+    """The best-so-far-vs-evaluation-index convergence curve.
+
+    Entry ``i`` is the minimum runtime observed over evaluations
+    ``0..i``; while every observation so far failed to launch, the entry
+    is ``inf``.  This is the curve the paper-style convergence plots
+    (median + IQR per technique) are built from.
+    """
+    curve: List[float] = []
+    best = math.inf
+    for runtime in runtimes:
+        runtime = float(runtime)
+        if runtime < best:
+            best = runtime
+        curve.append(best)
+    return curve
 
 
 class BudgetExhausted(RuntimeError):
@@ -57,6 +80,23 @@ class Objective:
         bound by the experiment runner.
     budget:
         Maximum number of evaluations.
+    tracer:
+        Trajectory tracer receiving ``evaluate`` / ``incumbent_update``
+        events (default: the no-op tracer — one attribute check of
+        overhead, and no effect on results or RNG streams).
+    metrics:
+        Optional registry accumulating ``evaluations_total``,
+        ``launch_failures_total`` and the ``evaluate_seconds`` histogram.
+    cell:
+        Cell key stamped onto every trace event.
+    index_base:
+        Offset added to trace event budget indices — the experiment
+        runner sets this for dataset tuners whose first rows were
+        replayed from a pre-collected dataset.
+    initial_best_ms:
+        Incumbent seed for ``incumbent_update`` events — the best of any
+        dataset rows replayed (via :func:`trace_dataset_rows`) before
+        this objective's live measurements begin.
     """
 
     def __init__(
@@ -64,6 +104,11 @@ class Objective:
         space: SearchSpace,
         measure: Callable[[Configuration], float],
         budget: int,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        cell: str = "",
+        index_base: int = 0,
+        initial_best_ms: float = math.inf,
     ) -> None:
         if budget < 1:
             raise ValueError("budget must be >= 1")
@@ -72,6 +117,14 @@ class Objective:
         self.budget = int(budget)
         self.configs: List[Configuration] = []
         self.runtimes: List[float] = []
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.cell = cell
+        self.index_base = int(index_base)
+        #: Best-so-far runtime after each evaluation (the convergence
+        #: curve); always maintained — it is derived state, not overhead.
+        self.best_curve: List[float] = []
+        self._best_ms = float(initial_best_ms)
 
     @property
     def evaluations(self) -> int:
@@ -87,10 +140,53 @@ class Objective:
             raise BudgetExhausted(
                 f"budget of {self.budget} evaluations exhausted"
             )
+        observed = self.tracer.enabled or self.metrics is not None
+        t0 = time.perf_counter() if observed else 0.0
         runtime = float(self._measure(dict(config)))
         self.configs.append(dict(config))
         self.runtimes.append(runtime)
+        improved = runtime < self._best_ms
+        if improved:
+            self._best_ms = runtime
+        self.best_curve.append(self._best_ms)
+        if observed:
+            duration = time.perf_counter() - t0
+            index = self.index_base + len(self.runtimes) - 1
+            if self.metrics is not None:
+                self.metrics.counter("evaluations_total").inc()
+                if not math.isfinite(runtime):
+                    self.metrics.counter("launch_failures_total").inc()
+                self.metrics.histogram("evaluate_seconds").observe(duration)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "evaluate",
+                    cell=self.cell,
+                    index=index,
+                    config={k: int(v) for k, v in config.items()},
+                    runtime_ms=runtime,
+                    best_ms=self._best_ms,
+                    source="live",
+                    duration_s=round(duration, 6),
+                )
+                if improved:
+                    self.tracer.event(
+                        "incumbent_update",
+                        cell=self.cell,
+                        index=index,
+                        runtime_ms=runtime,
+                    )
         return runtime
+
+    def span(self, kind: str, **fields):
+        """Instrumentation span: traces ``kind`` and times it into the
+        ``<kind>_seconds`` histogram.  Tuners wrap model fits and
+        candidate proposals in this — a no-op when observability is off.
+        """
+        if self.metrics is not None:
+            return _InstrumentedSpan(self, kind, fields)
+        if self.tracer.enabled:
+            return self.tracer.span(kind, cell=self.cell, **fields)
+        return NULL_TRACER.span(kind)
 
     def best_observed(self) -> tuple:
         """(best_config, best_runtime) among valid evaluations so far."""
@@ -104,6 +200,79 @@ class Objective:
             return self.configs[0], float("inf")
         idx = int(np.flatnonzero(finite)[np.argmin(arr[finite])])
         return self.configs[idx], float(arr[idx])
+
+
+class _InstrumentedSpan:
+    """Times a block into ``<kind>_seconds`` and emits a trace event."""
+
+    __slots__ = ("_objective", "_kind", "_fields", "_t0")
+
+    def __init__(self, objective: Objective, kind: str, fields: dict) -> None:
+        self._objective = objective
+        self._kind = kind
+        self._fields = fields
+
+    def __enter__(self) -> "_InstrumentedSpan":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        duration = time.perf_counter() - self._t0
+        obj = self._objective
+        if obj.metrics is not None:
+            obj.metrics.histogram(f"{self._kind}_seconds").observe(duration)
+        if obj.tracer.enabled:
+            obj.tracer.event(
+                self._kind,
+                cell=obj.cell,
+                duration_s=round(duration, 6),
+                **self._fields,
+            )
+
+
+def trace_dataset_rows(
+    tracer: Tracer,
+    cell: str,
+    configs: List[Configuration],
+    runtimes_ms,
+    start_index: int = 0,
+    best_ms: float = math.inf,
+) -> float:
+    """Replay pre-collected dataset rows into a trace.
+
+    Dataset (non-SMBO) tuners consume rows measured outside any
+    :class:`Objective`; replaying them as ``evaluate`` events with
+    ``source="dataset"`` keeps the per-cell trace contract — exactly
+    ``sample_size`` ``evaluate`` events per cell — intact for every
+    technique.  Returns the running best, which seeds the reserve
+    objective's ``initial_best_ms`` when the tuner measures live
+    afterwards.  No-op (beyond the best computation) when tracing is off.
+    """
+    for offset, (config, runtime) in enumerate(zip(configs, runtimes_ms)):
+        runtime = float(runtime)
+        improved = runtime < best_ms
+        if improved:
+            best_ms = runtime
+        if tracer.enabled:
+            index = start_index + offset
+            tracer.event(
+                "evaluate",
+                cell=cell,
+                index=index,
+                config={k: int(v) for k, v in config.items()},
+                runtime_ms=runtime,
+                best_ms=best_ms,
+                source="dataset",
+                duration_s=0.0,
+            )
+            if improved:
+                tracer.event(
+                    "incumbent_update",
+                    cell=cell,
+                    index=index,
+                    runtime_ms=runtime,
+                )
+    return best_ms
 
 
 @dataclass(frozen=True)
@@ -139,6 +308,33 @@ class Tuner:
 
     def tune(self, objective: Objective, rng: np.random.Generator) -> TuningResult:
         raise NotImplementedError
+
+    def run(
+        self, objective: Objective, rng: np.random.Generator
+    ) -> TuningResult:
+        """Instrumented entry point: :meth:`tune` inside lifecycle events.
+
+        This is the hook that covers all tuners without per-tuner forks:
+        callers that want ``tuner_start`` / ``tuner_end`` trace events use
+        ``run``; ``tune`` stays the bare algorithm.
+        """
+        tracer = objective.tracer
+        if tracer.enabled:
+            tracer.event(
+                "tuner_start",
+                cell=objective.cell,
+                algorithm=self.name,
+                budget=objective.budget,
+            )
+        result = self.tune(objective, rng)
+        if tracer.enabled:
+            tracer.event(
+                "tuner_end",
+                cell=objective.cell,
+                samples_used=int(result.samples_used),
+                best_ms=float(result.best_runtime_ms),
+            )
+        return result
 
     @staticmethod
     def _result_from(objective: Objective) -> TuningResult:

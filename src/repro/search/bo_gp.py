@@ -145,15 +145,19 @@ class BayesianGpTuner(SequentialTuner):
                 refit = objective.evaluations >= next_refit
                 if refit:
                     next_refit = max(next_refit * 2, objective.evaluations + 1)
-                gp.fit(X, y, optimize=refit)
+                with objective.span("model_fit", n_obs=int(y.size)):
+                    gp.fit(X, y, optimize=refit)
 
-                cand_flats, cand_features = space.sample_feature_matrix(
-                    rng, self.n_candidates,
-                    feasible_only=self.respect_constraints,
-                )
-                mean, std = gp.predict(cand_features, return_std=True)
-                ei = expected_improvement(mean, std, float(y_all.min()), self.xi)
-                pick = int(np.argmax(ei))
+                with objective.span("propose"):
+                    cand_flats, cand_features = space.sample_feature_matrix(
+                        rng, self.n_candidates,
+                        feasible_only=self.respect_constraints,
+                    )
+                    mean, std = gp.predict(cand_features, return_std=True)
+                    ei = expected_improvement(
+                        mean, std, float(y_all.min()), self.xi
+                    )
+                    pick = int(np.argmax(ei))
                 evaluate_features(
                     space.flat_to_config(int(cand_flats[pick])),
                     cand_features[pick],

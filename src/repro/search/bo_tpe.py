@@ -126,13 +126,18 @@ class BayesianTpeTuner(SequentialTuner):
                 objective.evaluate(cfg)
 
             while objective.remaining > 0:
-                obs = np.stack(
-                    [space.config_to_indices(c) for c in objective.configs]
-                )
-                losses = log_runtime(
-                    penalize_failures(np.asarray(objective.runtimes))
-                )
-                suggestion = self._suggest(space, obs, losses, rng)
+                # The Parzen-estimator build and candidate scoring are one
+                # fused step in TPE; the span is the model-fit analogue.
+                with objective.span(
+                    "model_fit", n_obs=objective.evaluations
+                ):
+                    obs = np.stack(
+                        [space.config_to_indices(c) for c in objective.configs]
+                    )
+                    losses = log_runtime(
+                        penalize_failures(np.asarray(objective.runtimes))
+                    )
+                    suggestion = self._suggest(space, obs, losses, rng)
                 objective.evaluate(suggestion)
         except BudgetExhausted:
             pass

@@ -99,7 +99,8 @@ class RandomForestTuner(DatasetTuner):
         forest = RandomForestRegressor(
             n_estimators=self.n_estimators, rng=rng
         )
-        forest.fit(X, y)
+        with objective.span("model_fit", n_obs=int(y.size)):
+            forest.fit(X, y)
 
         # Stage 2: score a candidate pool, then measure the model's top-k.
         # An argsort over the full lexicographically-enumerated space (the
@@ -113,12 +114,15 @@ class RandomForestTuner(DatasetTuner):
         # predicted configuration, then take its flat-order successors
         # (stepping over the fastest-varying dimension tile) as the rest
         # of the top-k cluster.
-        candidates = space.sample(
-            rng, self.candidate_pool,
-            feasible_only=self.respect_constraints,
-        )
-        preds = forest.predict(space.to_features(candidates))
-        best_flat = space.config_to_flat(candidates[int(np.argmin(preds))])
+        with objective.span("propose"):
+            candidates = space.sample(
+                rng, self.candidate_pool,
+                feasible_only=self.respect_constraints,
+            )
+            preds = forest.predict(space.to_features(candidates))
+            best_flat = space.config_to_flat(
+                candidates[int(np.argmin(preds))]
+            )
         stride = space.parameters[-1].cardinality  # skip near-dead last dim
         top_configs = [
             space.flat_to_config(

@@ -97,3 +97,86 @@ class TestPersistence:
         doc = StudyResults([r]).to_json()
         loaded = StudyResults.from_json(doc)
         assert loaded.results[0] == r
+
+    def test_pre_observability_files_still_load(self):
+        # Files written before convergence/metrics existed lack both keys.
+        doc = (
+            '{"results": [{"algorithm": "rs", "kernel": "add", '
+            '"arch": "titan_v", "sample_size": 25, "experiment": 0, '
+            '"final_runtime_ms": 1.0, "best_flat": 0, '
+            '"observed_best_ms": 0.95, "samples_used": 25}]}'
+        )
+        loaded = StudyResults.from_json(doc)
+        assert loaded.results[0].convergence == []
+        assert loaded.results[0].metrics == {}
+
+
+class TestConvergence:
+    def _add_curves(self, res, curves, alg="rs"):
+        for exp, curve in enumerate(curves):
+            r = make_result(alg=alg, exp=exp)
+            res.add(
+                ExperimentResult(**{**r.__dict__, "convergence": curve})
+            )
+
+    def test_curves_stacked(self):
+        res = StudyResults()
+        self._add_curves(res, [[3.0, 2.0, 2.0], [4.0, 4.0, 1.0]])
+        curves = res.convergence_curves("rs", "add", "titan_v", 25)
+        np.testing.assert_array_equal(
+            curves, [[3.0, 2.0, 2.0], [4.0, 4.0, 1.0]]
+        )
+
+    def test_ragged_curves_padded_with_final_best(self):
+        res = StudyResults()
+        self._add_curves(res, [[3.0, 2.0, 2.0], [4.0, 1.0]])
+        curves = res.convergence_curves("rs", "add", "titan_v", 25)
+        np.testing.assert_array_equal(
+            curves, [[3.0, 2.0, 2.0], [4.0, 1.0, 1.0]]
+        )
+
+    def test_no_curves_raises(self):
+        res = StudyResults([make_result()])  # default: empty convergence
+        with pytest.raises(KeyError):
+            res.convergence_curves("rs", "add", "titan_v", 25)
+
+    def test_stats_median_and_iqr(self):
+        res = StudyResults()
+        self._add_curves(res, [[4.0, 2.0], [2.0, 2.0], [6.0, 5.0]])
+        stats = res.convergence_stats("rs", "add", "titan_v", 25)
+        np.testing.assert_array_equal(stats["median"], [4.0, 2.0])
+        np.testing.assert_array_equal(stats["n"], [3, 3])
+        assert stats["q1"][0] == pytest.approx(3.0)
+        assert stats["q3"][0] == pytest.approx(5.0)
+
+    def test_stats_mask_inf_entries(self):
+        res = StudyResults()
+        self._add_curves(
+            res, [[np.inf, 3.0], [5.0, 4.0]]
+        )
+        stats = res.convergence_stats("rs", "add", "titan_v", 25)
+        assert stats["median"][0] == 5.0  # inf excluded, one finite value
+        np.testing.assert_array_equal(stats["n"], [1, 2])
+
+    def test_stats_all_inf_index_is_nan(self):
+        res = StudyResults()
+        self._add_curves(res, [[np.inf, 2.0], [np.inf, 3.0]])
+        stats = res.convergence_stats("rs", "add", "titan_v", 25)
+        assert np.isnan(stats["median"][0])
+        assert stats["n"][0] == 0
+
+
+class TestMetricsField:
+    def test_metrics_excluded_from_equality(self):
+        a = make_result()
+        b = ExperimentResult(
+            **{**a.__dict__, "metrics": {"evaluate_seconds_sum": 0.123}}
+        )
+        # Wall-clock metrics must not break the checkpoint-resume
+        # bit-identical contract.
+        assert a == b
+
+    def test_convergence_included_in_equality(self):
+        a = make_result()
+        b = ExperimentResult(**{**a.__dict__, "convergence": [1.0]})
+        assert a != b

@@ -123,3 +123,81 @@ class TestRunStudy:
             "random_search", "genetic_algorithm",
         ]
         assert results.metadata["total_experiments"] == 4
+
+
+class TestStudyObservability:
+    def test_results_carry_convergence_and_metrics(self):
+        results = run_study(tiny_config(), compute_optima=False)
+        for r in results.results:
+            assert len(r.convergence) == r.samples_used
+            # Best-so-far is non-increasing.
+            assert all(
+                b <= a for a, b in zip(r.convergence, r.convergence[1:])
+            )
+            assert r.metrics["evaluations_total"] == float(r.samples_used)
+
+    def test_evaluations_total_is_samples_times_experiments(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        run_study(tiny_config(), compute_optima=False, metrics=registry)
+        # 25 samples x 2 experiments x 2 algorithms.
+        assert registry.counter("evaluations_total").value == 100.0
+        assert registry.counter("simulator_evals_total").value > 0
+
+    def test_metrics_in_metadata(self):
+        import json
+
+        results = run_study(tiny_config(), compute_optima=False)
+        doc = results.metadata["metrics"]
+        assert doc["evaluations_total"]["series"][0]["value"] == 100.0
+        json.dumps(doc)  # JSON-serializable
+
+    def test_trace_dir_produces_valid_per_cell_traces(self, tmp_path):
+        import collections
+        import json
+
+        from repro.obs import validate_trace_path
+        from repro.obs.read import iter_trace_events
+
+        trace = tmp_path / "trace"
+        run_study(tiny_config(), compute_optima=False, trace_dir=trace)
+        assert validate_trace_path(trace) == []
+        per_cell = collections.Counter(
+            e["cell"]
+            for e in iter_trace_events([trace])
+            if e["kind"] == "evaluate"
+        )
+        assert len(per_cell) == 4
+        assert all(n == 25 for n in per_cell.values())
+
+    def test_tracing_does_not_change_results(self, tmp_path):
+        bare = run_study(tiny_config(), compute_optima=False)
+        traced = run_study(
+            tiny_config(), compute_optima=False,
+            trace_dir=tmp_path / "trace",
+        )
+        assert bare.results == traced.results
+
+    def test_metrics_survive_checkpoint_resume(self, tmp_path, monkeypatch):
+        from repro.obs import MetricsRegistry
+
+        ckpt = tmp_path / "study.jsonl"
+        cfg = tiny_config()
+        # First run: one cell fails, three complete and checkpoint.
+        monkeypatch.setenv(
+            "REPRO_FAIL_CELLS", "genetic_algorithm/add/titan_v/25/1"
+        )
+        run_study(
+            cfg, compute_optima=False, checkpoint=ckpt,
+            failure_policy="collect",
+        )
+        monkeypatch.delenv("REPRO_FAIL_CELLS")
+        # Resume: only the failed cell reruns, yet the aggregate counts
+        # every cell (resumed metrics reload with their results).
+        registry = MetricsRegistry()
+        resumed = run_study(
+            cfg, compute_optima=False, checkpoint=ckpt, metrics=registry,
+        )
+        assert len(resumed) == 4
+        assert registry.counter("evaluations_total").value == 100.0

@@ -87,3 +87,35 @@ class TestProgress:
         snap = json.loads(json.dumps(t.snapshot()))
         assert snap["completed"] == 1
         assert snap["phase_seconds"]["dataset"] == 1.0
+
+    def test_snapshot_total_and_eta(self):
+        clock = FakeClock()
+        t = StudyTelemetry(clock=clock)
+        t.start_tasks(4)
+        clock.advance(1.0)
+        t.task_finished(ok=True)
+        snap = t.snapshot()
+        assert snap["total"] == 4
+        assert snap["eta_seconds"] == 3.0  # 3 remaining at 1/s
+
+    def test_snapshot_eta_none_before_any_finish(self):
+        t = StudyTelemetry()
+        t.start_tasks(4)
+        assert t.snapshot()["eta_seconds"] is None
+
+    def test_snapshot_phase_list_ordered_with_started_at(self):
+        clock = FakeClock()
+        t = StudyTelemetry(clock=clock)
+        with t.phase("dataset"):
+            clock.advance(2.0)
+        with t.phase("optima"):
+            clock.advance(1.5)
+        with t.phase("dataset"):  # repeated phases each get an entry
+            clock.advance(0.5)
+        phases = t.snapshot()["phases"]
+        assert [p["name"] for p in phases] == ["dataset", "optima", "dataset"]
+        assert [p["started_at"] for p in phases] == [0.0, 2.0, 3.5]
+        assert [p["seconds"] for p in phases] == [2.0, 1.5, 0.5]
+        # started_at values are monotonically non-decreasing.
+        starts = [p["started_at"] for p in phases]
+        assert starts == sorted(starts)

@@ -1,0 +1,113 @@
+"""Tests for the convergence (best-so-far) reporting panels."""
+
+import math
+
+import pytest
+
+from repro.experiments.results import ExperimentResult, StudyResults
+from repro.reporting import convergence_plot, convergence_plots, render_lineplot
+from repro.reporting.convergence import _downsample_indices
+
+
+def _result(alg, exp, curve, kernel="add", arch="titan_v", size=25):
+    return ExperimentResult(
+        algorithm=alg,
+        kernel=kernel,
+        arch=arch,
+        sample_size=size,
+        experiment=exp,
+        final_runtime_ms=curve[-1],
+        best_flat=0,
+        observed_best_ms=curve[-1],
+        samples_used=len(curve),
+        convergence=list(curve),
+    )
+
+
+@pytest.fixture
+def results():
+    res = StudyResults()
+    for exp, curve in enumerate([[5.0, 4.0, 3.0], [6.0, 6.0, 2.0]]):
+        res.add(_result("random_search", exp, curve))
+    for exp, curve in enumerate([[4.0, 3.0, 1.0], [5.0, 2.0, 2.0]]):
+        res.add(_result("bo_gp", exp, curve))
+    return res
+
+
+class TestConvergencePlot:
+    def test_one_series_per_algorithm(self, results):
+        plot = convergence_plot(results, "add", "titan_v")
+        assert [s.label for s in plot.series] == ["RS", "BO GP"]
+        assert "S=25" in plot.title
+
+    def test_median_and_iqr(self, results):
+        plot = convergence_plot(results, "add", "titan_v")
+        rs = plot.series[0]
+        assert rs.x == [1, 2, 3]  # 1-based evaluation index
+        assert rs.y == [5.5, 5.0, 2.5]
+        assert rs.y_low[0] == pytest.approx(5.25)
+        assert rs.y_high[0] == pytest.approx(5.75)
+
+    def test_defaults_to_largest_sample_size(self, results):
+        results.add(_result("random_search", 0, [9.0, 8.0], size=50))
+        plot = convergence_plot(results, "add", "titan_v")
+        assert "S=50" in plot.title
+        assert len(plot.series) == 1  # only RS has curves at S=50
+
+    def test_algorithm_subset(self, results):
+        plot = convergence_plot(
+            results, "add", "titan_v", algorithms=["bo_gp"]
+        )
+        assert [s.label for s in plot.series] == ["BO GP"]
+
+    def test_missing_panel_raises(self, results):
+        with pytest.raises(KeyError):
+            convergence_plot(results, "harris", "titan_v")
+
+    def test_no_curves_raises(self):
+        res = StudyResults()
+        res.add(_result("random_search", 0, [1.0]))
+        res._results[0] = ExperimentResult(
+            **{**res._results[0].__dict__, "convergence": []}
+        )
+        with pytest.raises(KeyError):
+            convergence_plot(res, "add", "titan_v")
+
+    def test_inf_prefix_is_dropped(self):
+        res = StudyResults()
+        res.add(_result("random_search", 0, [math.inf, 4.0, 3.0]))
+        res.add(_result("random_search", 1, [math.inf, 5.0, 5.0]))
+        plot = convergence_plot(res, "add", "titan_v")
+        series = plot.series[0]
+        assert series.x == [2, 3]  # index 1 median is inf -> nan -> dropped
+        assert series.y == [4.5, 4.0]
+
+    def test_renders(self, results):
+        text = render_lineplot(convergence_plot(results, "add", "titan_v"))
+        assert "Convergence add on titan_v" in text
+        assert "legend:" in text
+
+    def test_downsampling(self, results):
+        plot = convergence_plot(results, "add", "titan_v", max_points=2)
+        assert plot.series[0].x == [1, 3]  # first and last always kept
+
+
+class TestDownsampleIndices:
+    def test_short_curves_untouched(self):
+        assert list(_downsample_indices(5, 10)) == [0, 1, 2, 3, 4]
+
+    def test_keeps_endpoints(self):
+        idx = list(_downsample_indices(100, 7))
+        assert idx[0] == 0
+        assert idx[-1] == 99
+        assert len(idx) == 7
+
+
+class TestConvergencePlots:
+    def test_panels_per_kernel_arch(self, results):
+        results.add(_result("random_search", 0, [2.0, 1.0], kernel="harris"))
+        panels = convergence_plots(results)
+        assert set(panels) == {("add", "titan_v"), ("harris", "titan_v")}
+
+    def test_empty_results(self):
+        assert convergence_plots(StudyResults()) == {}

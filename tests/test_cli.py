@@ -96,7 +96,7 @@ class TestMain:
         assert ckpt.exists()
         capsys.readouterr()
         assert main(argv) == 0  # resume: every cell already complete
-        assert "2 cells already complete" in capsys.readouterr().out
+        assert "2 cells already complete" in capsys.readouterr().err
 
     def test_collect_policy_reports_failed_cells(
         self, tmp_path, capsys, monkeypatch
@@ -117,6 +117,108 @@ class TestMain:
             ]
         )
         assert rc == 0
+        err = capsys.readouterr().err
+        assert "1 cells failed" in err
+        assert "random_search/add/titan_v/25/0" in err
+
+    def test_status_goes_to_stderr_stdout_stays_pipeable(self, capsys):
+        rc = main(
+            [
+                "--algorithms", "random_search",
+                "--kernels", "add",
+                "--archs", "titan_v",
+                "--sample-sizes", "25",
+                "--experiments-at-largest", "1",
+                "--image-size", "512",
+                "--no-figures",
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""  # nothing but figures ever hits stdout
+        assert "design:" in captured.err
+
+    def test_quiet_silences_status(self, capsys):
+        rc = main(
+            [
+                "--algorithms", "random_search",
+                "--kernels", "add",
+                "--archs", "titan_v",
+                "--sample-sizes", "25",
+                "--experiments-at-largest", "1",
+                "--image-size", "512",
+                "--no-figures",
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+
+class TestObservabilityFlags:
+    ARGS = [
+        "--algorithms", "random_search", "genetic_algorithm",
+        "--kernels", "add",
+        "--archs", "titan_v",
+        "--sample-sizes", "25",
+        "--experiments-at-largest", "2",
+        "--image-size", "512",
+        "--no-figures",
+    ]
+
+    def test_trace_dir_writes_schema_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs import validate_trace_path
+
+        trace = tmp_path / "trace"
+        rc = main(self.ARGS + ["--trace-dir", str(trace)])
+        assert rc == 0
+        files = list(trace.glob("*.jsonl"))
+        assert files
+        assert validate_trace_path(trace) == []
+        events = [
+            json.loads(line)
+            for f in files
+            for line in f.read_text().splitlines()
+        ]
+        evals = [e for e in events if e["kind"] == "evaluate"]
+        # Every cell's trace holds exactly sample_size evaluate events.
+        per_cell = {}
+        for e in evals:
+            per_cell[e["cell"]] = per_cell.get(e["cell"], 0) + 1
+        assert per_cell  # 4 cells
+        assert all(n == 25 for n in per_cell.values())
+
+    def test_metrics_out_prometheus(self, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        rc = main(self.ARGS + ["--metrics-out", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert "# TYPE evaluations_total counter" in text
+        # samples x experiments x algorithms = 25 * 2 * 2.
+        assert "evaluations_total 100" in text
+
+    def test_metrics_out_json(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        rc = main(self.ARGS + ["--metrics-out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        series = doc["evaluations_total"]["series"]
+        assert series[0]["value"] == 100.0
+
+    def test_convergence_prints_plots(self, capsys):
+        rc = main(self.ARGS + ["--convergence"])
+        assert rc == 0
         out = capsys.readouterr().out
-        assert "1 cells failed" in out
-        assert "random_search/add/titan_v/25/0" in out
+        assert "Convergence add on titan_v" in out
+        assert "evaluation" in out
+
+    def test_convergence_svg_export(self, tmp_path, capsys):
+        rc = main(
+            self.ARGS
+            + ["--convergence", "--svg-dir", str(tmp_path / "figs")]
+        )
+        assert rc == 0
+        svgs = list((tmp_path / "figs").glob("convergence_*.svg"))
+        assert len(svgs) == 1
