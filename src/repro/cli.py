@@ -105,6 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
              "`python -m repro.obs.read DIR --validate --cells`)",
     )
     parser.add_argument(
+        "--landscape-cache", metavar="DIR",
+        help="directory for memory-mapped landscape tables: one full "
+             "noise-free simulator pass per (kernel, arch), cached on "
+             "disk and reused by every dataset row, optimum scan, and "
+             "tuner measurement (bit-identical results; defaults to "
+             "$REPRO_LANDSCAPE_CACHE when set)",
+    )
+    parser.add_argument(
         "--metrics-out", metavar="PATH",
         help="export the study's metrics registry to PATH — Prometheus "
              "text format, or JSON when PATH ends in .json",
@@ -159,6 +167,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             retries=args.retries,
             trace_dir=args.trace_dir,
             metrics=registry,
+            landscape_cache=args.landscape_cache,
         )
     except TaskError as err:
         cell = getattr(err.task, "cell_key", repr(err.task))
@@ -191,6 +200,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             out.write_text(registry.to_prometheus())
         status(f"wrote metrics to {out}")
+    if results.metadata.get("landscape_cache"):
+        status(f"landscape tables in {results.metadata['landscape_cache']}")
     if args.trace_dir:
         status(
             f"trace JSONL in {args.trace_dir} "

@@ -81,7 +81,15 @@ def collect_dataset(
     if n_samples < 1:
         raise ValueError("n_samples must be >= 1")
     flats = space.sample_flat(rng, n_samples, feasible_only=True)
-    index_matrix = space.flats_to_index_matrix(flats)
-    value_matrix = space.index_matrix_to_features(index_matrix).astype(np.int64)
-    runtimes = device.measure_matrix(value_matrix)
+    if device.table is not None:
+        # One fancy-index into the landscape table replaces the decode +
+        # simulate pass; the noise application is identical, so the
+        # resulting runtimes are bit-for-bit the same as the live path.
+        runtimes = device.measure_flats(flats)
+    else:
+        index_matrix = space.flats_to_index_matrix(flats)
+        value_matrix = space.index_matrix_to_features(index_matrix).astype(
+            np.int64
+        )
+        runtimes = device.measure_matrix(value_matrix)
     return PrecollectedDataset(flats=flats, runtimes_ms=runtimes)

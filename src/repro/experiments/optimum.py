@@ -8,18 +8,32 @@ every (kernel, architecture) landscape by scanning all 2,097,152
 configurations — vectorized in chunks so the whole scan is a handful of
 NumPy passes.
 
+With a precomputed :class:`~repro.gpu.landscape.LandscapeTable` the scan
+collapses to an argmin over the table (plus the feasibility mask), so one
+full-space simulator pass serves both the landscape cache and the optimum.
+
 Results are memoized per (profile, architecture, space) since every
-experiment cell of a study shares them.
+experiment cell of a study shares them; the memo key is the same stable
+landscape fingerprint the on-disk cache uses — hashed from field values,
+never live object identities — so memoization works across pickling
+round-trips and is consistent between processes.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..gpu.arch import GpuArchitecture
+from ..gpu.landscape import (
+    LandscapeTable,
+    _space_descriptor,
+    landscape_fingerprint,
+)
 from ..gpu.simulator import simulate_runtimes
 from ..gpu.workload import WorkloadProfile
 from ..searchspace import SearchSpace
@@ -27,6 +41,11 @@ from ..searchspace import SearchSpace
 __all__ = ["OptimumResult", "find_true_optimum", "clear_optimum_cache"]
 
 _CACHE: Dict[tuple, "OptimumResult"] = {}
+
+#: Full-space feasibility masks memoized per space *value* (parameters +
+#: constraints), shared by every (profile, arch) scan over that space —
+#: the paper's nine landscapes share one space, so eight scans reuse it.
+_MASK_CACHE: Dict[str, np.ndarray] = {}
 
 
 @dataclass(frozen=True)
@@ -39,7 +58,8 @@ class OptimumResult:
     flat_index: int
     #: Noise-free runtime, ms.
     runtime_ms: float
-    #: Configurations scanned.
+    #: Configurations actually considered: the whole space, minus any
+    #: rows excluded by the feasibility filter when ``feasible_only``.
     scanned: int
     #: Whether infeasible configurations were excluded from the scan.
     feasible_only: bool
@@ -51,13 +71,11 @@ def _cache_key(
     space: SearchSpace,
     feasible_only: bool,
 ) -> tuple:
-    return (
-        profile,
-        arch.codename,
-        tuple((p.name, p.cardinality) for p in space.parameters),
-        space.constraints.describe(),
-        feasible_only,
-    )
+    # The landscape fingerprint hashes profile/arch fields, the space's
+    # parameters + constraints, and the simulator version — replacing the
+    # old key's live ``profile`` object, whose identity-based hash broke
+    # memoization for equal profiles arriving via unpickling.
+    return (landscape_fingerprint(profile, arch, space), feasible_only)
 
 
 def find_true_optimum(
@@ -67,6 +85,7 @@ def find_true_optimum(
     feasible_only: bool = True,
     chunk_size: int = 1 << 18,
     use_cache: bool = True,
+    table: Optional[LandscapeTable] = None,
 ) -> OptimumResult:
     """Scan the whole space for the noise-free minimum runtime.
 
@@ -74,24 +93,41 @@ def find_true_optimum(
     skipped — though launch failures already return ``inf`` and can never
     win, this also guards against constraint sets stricter than the
     device's own limits.
+
+    With ``table`` (a precomputed landscape for this exact profile, arch
+    and space), runtimes come from the table instead of the simulator:
+    the scan becomes a chunked argmin, bit-identical to the live scan.
     """
     key = _cache_key(profile, arch, space, feasible_only)
     if use_cache and key in _CACHE:
         return _CACHE[key]
+    if table is not None and table.fingerprint != key[0]:
+        raise ValueError(
+            "landscape table fingerprint does not match the requested "
+            "(profile, arch, space) — it was built for a different "
+            "landscape"
+        )
 
     best_runtime = np.inf
     best_flat = -1
     total = space.size
+    apply_mask = feasible_only and len(space.constraints) > 0
+    mask = _space_feasible_mask(space, chunk_size) if apply_mask else None
+    considered = int(np.count_nonzero(mask)) if mask is not None else total
     for start in range(0, total, chunk_size):
         stop = min(start + chunk_size, total)
-        flats = np.arange(start, stop, dtype=np.int64)
-        idx = space.flats_to_index_matrix(flats)
-        values = space.index_matrix_to_features(idx).astype(np.int64)
-        result = simulate_runtimes(profile, arch, values)
-        runtimes = result.runtime_ms
-        if feasible_only and len(space.constraints) > 0:
-            feasible = _feasible_mask(space, values)
-            runtimes = np.where(feasible, runtimes, np.inf)
+        if table is not None:
+            runtimes = table.runtimes_at(
+                np.arange(start, stop, dtype=np.int64)
+            )
+        else:
+            idx = space.flats_to_index_matrix(
+                np.arange(start, stop, dtype=np.int64)
+            )
+            values = space.index_matrix_to_features(idx).astype(np.int64)
+            runtimes = simulate_runtimes(profile, arch, values).runtime_ms
+        if mask is not None:
+            runtimes = np.where(mask[start:stop], runtimes, np.inf)
         i = int(np.argmin(runtimes))
         if runtimes[i] < best_runtime:
             best_runtime = float(runtimes[i])
@@ -105,12 +141,39 @@ def find_true_optimum(
         config=space.flat_to_config(best_flat),
         flat_index=best_flat,
         runtime_ms=best_runtime,
-        scanned=total,
+        scanned=considered,
         feasible_only=feasible_only,
     )
     if use_cache:
         _CACHE[key] = out
     return out
+
+
+def _space_feasible_mask(
+    space: SearchSpace, chunk_size: int
+) -> np.ndarray:
+    """The full-space feasibility mask, computed once per space value.
+
+    Feasibility depends only on the space's parameters and constraints —
+    not on the profile or architecture — so the mask is memoized on a
+    value-stable key and shared by every landscape scan over the space.
+    """
+    key = hashlib.sha256(
+        json.dumps(_space_descriptor(space), sort_keys=True, default=str)
+        .encode()
+    ).hexdigest()
+    mask = _MASK_CACHE.get(key)
+    if mask is None:
+        mask = np.empty(space.size, dtype=bool)
+        for start in range(0, space.size, chunk_size):
+            stop = min(start + chunk_size, space.size)
+            idx = space.flats_to_index_matrix(
+                np.arange(start, stop, dtype=np.int64)
+            )
+            values = space.index_matrix_to_features(idx).astype(np.int64)
+            mask[start:stop] = _feasible_mask(space, values)
+        _MASK_CACHE[key] = mask
+    return mask
 
 
 def _feasible_mask(space: SearchSpace, values: np.ndarray) -> np.ndarray:
@@ -141,5 +204,6 @@ def _feasible_mask(space: SearchSpace, values: np.ndarray) -> np.ndarray:
 
 
 def clear_optimum_cache() -> None:
-    """Drop memoized optima (used by tests that mutate landscapes)."""
+    """Drop memoized optima and masks (tests that mutate landscapes)."""
     _CACHE.clear()
+    _MASK_CACHE.clear()

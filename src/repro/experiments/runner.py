@@ -34,6 +34,7 @@ from ..search import (
     make_tuner,
     trace_dataset_rows,
 )
+from ..gpu.landscape import load_or_compute_landscape
 from .dataset import PrecollectedDataset
 from .results import ExperimentResult
 
@@ -96,6 +97,12 @@ class ExperimentTask:
     #: A string (not Path) so tasks stay cheaply picklable; each worker
     #: process appends to its own ``trace-<pid>.jsonl`` inside it.
     trace_dir: Optional[str] = None
+    #: Landscape-table cache directory.  When set, the worker memory-maps
+    #: the precomputed noise-free runtime table for this task's
+    #: (kernel, arch) pair — one simulator pass per landscape study-wide,
+    #: shared read-only pages across the process pool — and every
+    #: measurement becomes a table lookup.  A string for picklability.
+    landscape_cache: Optional[str] = None
 
     @property
     def cell_key(self) -> str:
@@ -119,12 +126,20 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
     space = kernel.space()
     arch = get_architecture(task.arch)
 
+    table = (
+        load_or_compute_landscape(
+            profile, arch, space, cache_dir=task.landscape_cache
+        )
+        if task.landscape_cache is not None
+        else None
+    )
     rngs = RngFactory(task.root_seed)
     device = SimulatedDevice(
         arch,
         profile,
         noise=task.noise,
         rng=rngs.stream_for(task.cell_key + "/device"),
+        table=table,
     )
     search_rng = rngs.stream_for(task.cell_key + "/search")
     tuner = make_tuner(task.algorithm, **dict(task.tuner_kwargs))
@@ -135,6 +150,12 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
 
     def measure(config: dict) -> float:
         return device.measure(config).runtime_ms
+
+    measure_flat = (
+        (lambda flat: device.measure_flat(flat).runtime_ms)
+        if table is not None
+        else None
+    )
 
     if isinstance(tuner, DatasetTuner):
         if task.dataset_flats is None or task.dataset_runtimes is None:
@@ -183,6 +204,7 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
                 cell=cell,
                 index_base=n_train,
                 initial_best_ms=dataset_best,
+                measure_flat=measure_flat,
             )
             if reserve > 0
             else None
@@ -209,6 +231,7 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
             tracer=tracer,
             metrics=registry,
             cell=cell,
+            measure_flat=measure_flat,
         )
         result = tuner.run(objective, search_rng)
 

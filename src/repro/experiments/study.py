@@ -27,6 +27,11 @@ import numpy as np
 
 from ..gpu.arch import PAPER_ARCHITECTURES, get_architecture
 from ..gpu.device import SimulatedDevice
+from ..gpu.landscape import (
+    LandscapeTable,
+    default_cache_dir,
+    load_or_compute_landscape,
+)
 from ..gpu.noise import DEFAULT_NOISE, NoiseModel
 from ..kernels import PAPER_KERNEL_NAMES, get_kernel
 from ..obs import MetricsRegistry, global_registry
@@ -94,8 +99,27 @@ def _needs_dataset(config: StudyConfig) -> bool:
     )
 
 
+def _load_landscapes(
+    config: StudyConfig, cache_dir: Optional[str]
+) -> Dict[Tuple[str, str], LandscapeTable]:
+    """One landscape table per (kernel, arch) — the study's single
+    full-space simulator pass per landscape.  Tables land in the on-disk
+    cache so worker processes memory-map them instead of recomputing."""
+    out: Dict[Tuple[str, str], LandscapeTable] = {}
+    for kname in config.kernels:
+        kernel = get_kernel(kname, config.image_x, config.image_y)
+        profile = kernel.profile()
+        space = kernel.space()
+        for aname in config.archs:
+            out[(kname, aname)] = load_or_compute_landscape(
+                profile, get_architecture(aname), space, cache_dir=cache_dir
+            )
+    return out
+
+
 def _collect_datasets(
     config: StudyConfig,
+    tables: Optional[Dict[Tuple[str, str], LandscapeTable]] = None,
 ) -> Dict[Tuple[str, str], PrecollectedDataset]:
     """One pre-measured dataset per (kernel, arch), reproducibly seeded."""
     rngs = RngFactory(config.root_seed)
@@ -111,6 +135,7 @@ def _collect_datasets(
                 profile,
                 noise=config.noise,
                 rng=rngs.stream_for(f"dataset/{kname}/{aname}/device"),
+                table=tables.get((kname, aname)) if tables else None,
             )
             out[(kname, aname)] = collect_dataset(
                 device,
@@ -121,7 +146,10 @@ def _collect_datasets(
     return out
 
 
-def _compute_optima(config: StudyConfig) -> Dict[Tuple[str, str], float]:
+def _compute_optima(
+    config: StudyConfig,
+    tables: Optional[Dict[Tuple[str, str], LandscapeTable]] = None,
+) -> Dict[Tuple[str, str], float]:
     """True noise-free optimum of every (kernel, arch) landscape."""
     out: Dict[Tuple[str, str], float] = {}
     for kname in config.kernels:
@@ -129,7 +157,12 @@ def _compute_optima(config: StudyConfig) -> Dict[Tuple[str, str], float]:
         profile = kernel.profile()
         space = kernel.space()
         for aname in config.archs:
-            opt = find_true_optimum(profile, get_architecture(aname), space)
+            opt = find_true_optimum(
+                profile,
+                get_architecture(aname),
+                space,
+                table=tables.get((kname, aname)) if tables else None,
+            )
             out[(kname, aname)] = opt.runtime_ms
     return out
 
@@ -138,6 +171,7 @@ def build_tasks(
     config: StudyConfig,
     datasets: Dict[Tuple[str, str], PrecollectedDataset],
     trace_dir: Optional[str] = None,
+    landscape_cache: Optional[str] = None,
 ) -> List[ExperimentTask]:
     """The full task list for one study, in a deterministic order."""
     tasks: List[ExperimentTask] = []
@@ -172,6 +206,7 @@ def build_tasks(
                                 dataset_runtimes=runtimes,
                                 tuner_kwargs=config.overrides_for(alg),
                                 trace_dir=trace_dir,
+                                landscape_cache=landscape_cache,
                             )
                         )
     return tasks
@@ -186,6 +221,7 @@ def run_study(
     retries: int = 0,
     trace_dir: Optional[object] = None,
     metrics: Optional[MetricsRegistry] = None,
+    landscape_cache: Optional[object] = None,
 ) -> StudyResults:
     """Run the full study described by ``config``.
 
@@ -226,6 +262,16 @@ def run_study(
         timing histogram sums, pool ``task_retries_total``, simulator
         counters).  A private registry is used when ``None``; either way
         the aggregate lands in ``StudyResults.metadata["metrics"]``.
+    landscape_cache:
+        Directory for memory-mapped landscape tables.  When set (or when
+        ``REPRO_LANDSCAPE_CACHE`` is in the environment), each
+        (kernel, arch) landscape's full noise-free runtime vector is
+        computed once up front — or loaded from a previous run's cache —
+        and every dataset row, optimum scan, and tuner measurement
+        becomes a table lookup.  Worker processes memory-map the same
+        files, sharing read-only pages.  Results are bit-identical with
+        the cache on or off.  ``None`` with no environment override runs
+        fully live.
     """
     config.validate()
     emit = print if progress is True else (progress or None)
@@ -236,10 +282,23 @@ def run_study(
     # can be folded into the study registry at the end.
     _global_before = global_registry().flat_counters()
 
+    if landscape_cache is None:
+        landscape_cache = default_cache_dir()
+    cache_dir = str(landscape_cache) if landscape_cache is not None else None
+
+    tables: Optional[Dict[Tuple[str, str], LandscapeTable]] = None
+    if cache_dir is not None:
+        with telemetry.phase("landscapes"):
+            tables = _load_landscapes(config, cache_dir)
+        telemetry.line(
+            f"prepared {len(tables)} landscape tables in {cache_dir} "
+            f"in {telemetry.phase_seconds['landscapes']:.1f}s"
+        )
+
     datasets: Dict[Tuple[str, str], PrecollectedDataset] = {}
     if _needs_dataset(config):
         with telemetry.phase("dataset"):
-            datasets = _collect_datasets(config)
+            datasets = _collect_datasets(config, tables)
         telemetry.line(
             f"collected {len(datasets)} datasets "
             f"({config.design.dataset_rows_required} rows each) "
@@ -249,7 +308,7 @@ def run_study(
     optima: Dict[Tuple[str, str], float] = {}
     if compute_optima:
         with telemetry.phase("optima"):
-            optima = _compute_optima(config)
+            optima = _compute_optima(config, tables)
         telemetry.line(
             f"scanned {len(optima)} landscapes for true optima "
             f"in {telemetry.phase_seconds['optima']:.1f}s"
@@ -259,6 +318,7 @@ def run_study(
         config,
         datasets,
         trace_dir=str(trace_dir) if trace_dir is not None else None,
+        landscape_cache=cache_dir,
     )
 
     ckpt: Optional[StudyCheckpoint] = None
@@ -358,5 +418,6 @@ def run_study(
         "telemetry": telemetry.snapshot(),
         "metrics": registry.to_json(),
         "trace_dir": str(trace_dir) if trace_dir is not None else None,
+        "landscape_cache": cache_dir,
     }
     return StudyResults(results=results, optima=optima, metadata=metadata)

@@ -18,9 +18,24 @@ from .arch import (
 )
 from .device import Measurement, SimulatedDevice, config_dict_to_row
 from .geometry import LaunchGeometry, derive_geometry
+from .landscape import (
+    LANDSCAPE_CACHE_ENV,
+    LandscapeTable,
+    compute_landscape,
+    default_cache_dir,
+    landscape_fingerprint,
+    load_landscape,
+    load_or_compute_landscape,
+    save_landscape,
+)
 from .noise import DEFAULT_NOISE, NOISELESS, NoiseModel
 from .occupancy import OccupancyResult, compute_occupancy
-from .simulator import CONFIG_COLUMNS, SimulationResult, simulate_runtimes
+from .simulator import (
+    CONFIG_COLUMNS,
+    SIMULATOR_VERSION,
+    SimulationResult,
+    simulate_runtimes,
+)
 from .workload import WorkloadProfile
 
 __all__ = [
@@ -38,6 +53,15 @@ __all__ = [
     "SimulationResult",
     "simulate_runtimes",
     "CONFIG_COLUMNS",
+    "SIMULATOR_VERSION",
+    "LandscapeTable",
+    "LANDSCAPE_CACHE_ENV",
+    "landscape_fingerprint",
+    "compute_landscape",
+    "load_landscape",
+    "save_landscape",
+    "load_or_compute_landscape",
+    "default_cache_dir",
     "NoiseModel",
     "DEFAULT_NOISE",
     "NOISELESS",

@@ -15,6 +15,13 @@ OpenCL ``CL_INVALID_WORK_GROUP_SIZE`` error.
 
 The device also counts every kernel launch, which is how experiment code
 enforces the paper's fixed *sample budgets*.
+
+A device may be backed by a precomputed :class:`~repro.gpu.landscape.
+LandscapeTable`, in which case every measurement is a flat-index lookup
+plus the same noise draw instead of a full simulator pipeline pass.
+Because the simulator is deterministic and noise is applied after the
+lookup, table-backed and live measurements are bit-identical — same
+runtimes, same RNG consumption.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from ..obs.metrics import global_registry
 from .arch import GpuArchitecture
 from .noise import DEFAULT_NOISE, NoiseModel
 from .simulator import CONFIG_COLUMNS, SimulationResult, simulate_runtimes
@@ -64,6 +72,19 @@ def config_dict_to_row(config: Mapping[str, int]) -> np.ndarray:
         ) from None
 
 
+#: Cached (registry, lookups counter) — same pattern as the simulator's
+#: counters: one identity check per measurement instead of a dict lookup.
+_COUNTERS: tuple = (None, None)
+
+
+def _lookup_counter():
+    global _COUNTERS
+    registry = global_registry()
+    if _COUNTERS[0] is not registry:
+        _COUNTERS = (registry, registry.counter("landscape_lookups_total"))
+    return _COUNTERS[1]
+
+
 class SimulatedDevice:
     """A virtual GPU running one workload under measurement noise.
 
@@ -78,6 +99,11 @@ class SimulatedDevice:
     rng:
         Generator for the noise stream.  Supply a dedicated stream from
         :class:`repro.parallel.RngFactory` for reproducible experiments.
+    table:
+        Optional precomputed :class:`~repro.gpu.landscape.LandscapeTable`
+        for this (profile, arch) landscape.  When present, measurements
+        resolve true runtimes by table lookup (bit-identical to the live
+        simulator) instead of running the analytic pipeline.
     """
 
     def __init__(
@@ -86,12 +112,31 @@ class SimulatedDevice:
         profile: WorkloadProfile,
         noise: NoiseModel = DEFAULT_NOISE,
         rng: Optional[np.random.Generator] = None,
+        table=None,
     ) -> None:
+        if table is not None and (
+            table.profile_name != profile.name
+            or table.arch_codename != arch.codename
+        ):
+            raise ValueError(
+                f"landscape table for {table.profile_name}/"
+                f"{table.arch_codename} cannot back a device running "
+                f"{profile.name}/{arch.codename}"
+            )
         self.arch = arch
         self.profile = profile
         self.noise = noise
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.table = table
         self._launches = 0
+        # Constant per device (profile and bandwidth are fixed), yet it
+        # used to be recomputed on every single measurement.
+        eb = profile.element_bytes
+        in_bytes = profile.elements * profile.reads_per_element * eb
+        out_bytes = profile.elements * profile.writes_per_element * eb
+        self._transfer_ms = (
+            (in_bytes + out_bytes) / (PCIE_BANDWIDTH_GBS * 1e9) * 1e3
+        )
 
     # -- accounting ---------------------------------------------------------
     @property
@@ -104,16 +149,46 @@ class SimulatedDevice:
 
     # -- transfers ----------------------------------------------------------
     def transfer_time_ms(self) -> float:
-        """Modelled host->device + device->host transfer time."""
-        eb = self.profile.element_bytes
-        in_bytes = self.profile.elements * self.profile.reads_per_element * eb
-        out_bytes = self.profile.elements * self.profile.writes_per_element * eb
-        return (in_bytes + out_bytes) / (PCIE_BANDWIDTH_GBS * 1e9) * 1e3
+        """Modelled host->device + device->host transfer time (cached)."""
+        return self._transfer_ms
+
+    # -- true (noise-free) runtimes ------------------------------------------
+    def _true_runtime(self, config: Mapping[str, int]) -> tuple:
+        """(noise-free runtime ms, valid) — table lookup or 1-row pipeline."""
+        if self.table is not None:
+            flat = self.table.flat_of(config)
+            _lookup_counter().inc()
+            return self.table.runtime_at(flat), not self.table.failure_at(flat)
+        row = config_dict_to_row(config)
+        sim = simulate_runtimes(self.profile, self.arch, row)
+        return float(sim.runtime_ms[0]), not bool(sim.launch_failure[0])
 
     # -- measurement ----------------------------------------------------------
     def measure(self, config: Mapping[str, int]) -> Measurement:
         """Run the kernel once with ``config`` and time it."""
-        return self.measure_repeated(config, repeats=1)[0]
+        true_ms, valid = self._true_runtime(config)
+        noisy = self.noise.apply(np.array([true_ms]), self.rng)
+        self._launches += 1
+        return Measurement(
+            runtime_ms=float(noisy[0]), valid=valid,
+            transfer_ms=self._transfer_ms,
+        )
+
+    def measure_flat(self, flat: int) -> Measurement:
+        """Run the configuration at flat index ``flat`` once (table-backed
+        fast path: no configuration dict or simulator row is built)."""
+        table = self._require_table("measure_flat")
+        flat = int(flat)
+        _lookup_counter().inc()
+        noisy = self.noise.apply(
+            np.array([table.runtime_at(flat)]), self.rng
+        )
+        self._launches += 1
+        return Measurement(
+            runtime_ms=float(noisy[0]),
+            valid=not table.failure_at(flat),
+            transfer_ms=self._transfer_ms,
+        )
 
     def measure_repeated(
         self, config: Mapping[str, int], repeats: int
@@ -122,15 +197,16 @@ class SimulatedDevice:
         configuration 10x to compensate for runtime variance)."""
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
-        row = config_dict_to_row(config)
-        sim = simulate_runtimes(self.profile, self.arch, row)
-        true_ms = np.repeat(sim.runtime_ms, repeats)
-        noisy = self.noise.apply(true_ms, self.rng)
+        true_ms, valid = self._true_runtime(config)
+        noisy = self.noise.apply(
+            np.full(repeats, true_ms, dtype=np.float64), self.rng
+        )
         self._launches += repeats
-        transfer = self.transfer_time_ms()
-        valid = not bool(sim.launch_failure[0])
         return [
-            Measurement(runtime_ms=float(t), valid=valid, transfer_ms=transfer)
+            Measurement(
+                runtime_ms=float(t), valid=valid,
+                transfer_ms=self._transfer_ms,
+            )
             for t in noisy
         ]
 
@@ -152,7 +228,30 @@ class SimulatedDevice:
         self._launches += int(matrix.shape[0] if matrix.ndim == 2 else 1)
         return noisy
 
+    def measure_flats(self, flats: np.ndarray) -> np.ndarray:
+        """One noisy measurement per flat index: a single fancy-index on
+        the landscape table plus one vectorized noise draw.
+
+        The table-backed equivalent of :meth:`measure_matrix` — dataset
+        pre-collection routes here when a table is present.
+        """
+        table = self._require_table("measure_flats")
+        flats = np.asarray(flats, dtype=np.int64)
+        _lookup_counter().inc(float(flats.size))
+        noisy = self.noise.apply(table.runtimes_at(flats), self.rng)
+        self._launches += int(flats.size)
+        return noisy
+
     def true_runtimes(self, matrix: np.ndarray) -> SimulationResult:
         """Noise-free simulation (for optima and tests); not counted as
         launches — nothing 'runs'."""
         return simulate_runtimes(self.profile, self.arch, matrix)
+
+    def _require_table(self, method: str):
+        if self.table is None:
+            raise RuntimeError(
+                f"SimulatedDevice.{method} needs a landscape table; "
+                f"construct the device with table=... (see "
+                f"repro.gpu.landscape.load_or_compute_landscape)"
+            )
+        return self.table

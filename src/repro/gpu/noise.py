@@ -63,13 +63,25 @@ class NoiseModel:
         n = int(finite.sum())
         if n == 0:
             return out
+        # Draw order (normal, uniform, uniform) and per-element arithmetic
+        # — (x * jitter) * spike, spike multiplications only where a spike
+        # hit — are frozen: reproductions depend on these exact bits.
         jitter = np.exp(self.sigma * rng.standard_normal(n))
-        spikes = np.where(
-            rng.random(n) < self.spike_probability,
-            1.0 + rng.random(n) * self.spike_magnitude,
-            1.0,
-        )
-        out[finite] = out[finite] * jitter * spikes
+        spike_hit = rng.random(n) < self.spike_probability
+        spike_u = rng.random(n)
+        if n == out.size:
+            out *= jitter
+            if spike_hit.any():
+                out[spike_hit] *= (
+                    1.0 + spike_u[spike_hit] * self.spike_magnitude
+                )
+        else:
+            vals = out[finite] * jitter
+            if spike_hit.any():
+                vals[spike_hit] *= (
+                    1.0 + spike_u[spike_hit] * self.spike_magnitude
+                )
+            out[finite] = vals
         return out
 
 

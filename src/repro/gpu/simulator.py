@@ -36,10 +36,21 @@ from .occupancy import compute_occupancy
 from .ruggedness import ruggedness_factor
 from .workload import WorkloadProfile
 
-__all__ = ["SimulationResult", "simulate_runtimes", "CONFIG_COLUMNS"]
+__all__ = [
+    "SimulationResult",
+    "simulate_runtimes",
+    "CONFIG_COLUMNS",
+    "SIMULATOR_VERSION",
+]
 
 #: Column order expected in configuration matrices.
 CONFIG_COLUMNS = ("thread_x", "thread_y", "thread_z", "wg_x", "wg_y", "wg_z")
+
+#: Version of the analytic model's *outputs*.  Bump whenever a change to
+#: this pipeline (or the modules it composes) alters any runtime value —
+#: precomputed landscape tables (:mod:`repro.gpu.landscape`) key their
+#: cache fingerprint on it and rebuild automatically.
+SIMULATOR_VERSION = 1
 
 #: Pipeline utilization saturates once occ * ilp reaches this many warp
 #: slots' worth of issue parallelism.
@@ -64,6 +75,25 @@ class SimulationResult:
     memory_time_ms: np.ndarray
     #: Compute-side time (ms) before overlap composition.
     compute_time_ms: np.ndarray
+
+
+#: (registry, evals counter, failures counter) — the counter objects are
+#: cached so the 1-row fallback path pays one identity check instead of
+#: two registry dict lookups per call; revalidated against the live
+#: registry so ``reset_global_registry()`` (test isolation) still works.
+_COUNTERS: tuple = (None, None, None)
+
+
+def _registry_counters() -> tuple:
+    global _COUNTERS
+    registry = global_registry()
+    if _COUNTERS[0] is not registry:
+        _COUNTERS = (
+            registry,
+            registry.counter("simulator_evals_total"),
+            registry.counter("simulator_launch_failures_total"),
+        )
+    return _COUNTERS
 
 
 def _validate_matrix(configs: np.ndarray) -> np.ndarray:
@@ -183,13 +213,11 @@ def simulate_runtimes(
     # vectorized hot path is unaffected.  Worker processes accumulate
     # their own registries; per-cell deltas travel back to the study
     # parent via ExperimentResult.metrics.
-    registry = global_registry()
-    registry.counter("simulator_evals_total").inc(float(configs.shape[0]))
+    _, evals_counter, failures_counter = _registry_counters()
+    evals_counter.inc(float(configs.shape[0]))
     failures = int(np.count_nonzero(failure))
     if failures:
-        registry.counter("simulator_launch_failures_total").inc(
-            float(failures)
-        )
+        failures_counter.inc(float(failures))
 
     return SimulationResult(
         runtime_ms=total_ms,

@@ -119,7 +119,7 @@ class SimulatedAnnealingTuner(SequentialTuner):
             nonlocal worst_seen
             if genes in cache:
                 return cache[genes]
-            runtime = objective.evaluate(space.indices_to_config(list(genes)))
+            runtime = objective.evaluate_flat(space.indices_to_flat(genes))
             if np.isfinite(runtime):
                 worst_seen = max(worst_seen, runtime)
             cache[genes] = runtime

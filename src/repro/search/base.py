@@ -97,6 +97,13 @@ class Objective:
         Incumbent seed for ``incumbent_update`` events — the best of any
         dataset rows replayed (via :func:`trace_dataset_rows`) before
         this objective's live measurements begin.
+    measure_flat:
+        Optional ``flat_index -> runtime_ms`` callable (usually a
+        table-backed ``SimulatedDevice.measure_flat``).  When present,
+        :meth:`evaluate_flat` measures by flat index directly, skipping
+        the config-dict -> simulator-row -> full-pipeline round trip;
+        when absent, :meth:`evaluate_flat` falls back to the dict route
+        with identical results.
     """
 
     def __init__(
@@ -109,11 +116,13 @@ class Objective:
         cell: str = "",
         index_base: int = 0,
         initial_best_ms: float = math.inf,
+        measure_flat: Optional[Callable[[int], float]] = None,
     ) -> None:
         if budget < 1:
             raise ValueError("budget must be >= 1")
         self.space = space
         self._measure = measure
+        self._measure_flat = measure_flat
         self.budget = int(budget)
         self.configs: List[Configuration] = []
         self.runtimes: List[float] = []
@@ -143,6 +152,35 @@ class Objective:
         observed = self.tracer.enabled or self.metrics is not None
         t0 = time.perf_counter() if observed else 0.0
         runtime = float(self._measure(dict(config)))
+        return self._record(config, runtime, observed, t0)
+
+    def evaluate_flat(self, flat: int) -> float:
+        """Measure one configuration by flat index (counts against the
+        budget).
+
+        With a ``measure_flat`` route configured this skips the
+        config-dict -> row -> full-pipeline conversion entirely; without
+        one it is exactly :meth:`evaluate` on the decoded configuration.
+        Either way the recorded history, trace events, and RNG
+        consumption are identical to the dict route.
+        """
+        flat = int(flat)
+        config = self.space.flat_to_config(flat)
+        if self._measure_flat is None:
+            return self.evaluate(config)
+        if self.remaining <= 0:
+            raise BudgetExhausted(
+                f"budget of {self.budget} evaluations exhausted"
+            )
+        observed = self.tracer.enabled or self.metrics is not None
+        t0 = time.perf_counter() if observed else 0.0
+        runtime = float(self._measure_flat(flat))
+        return self._record(config, runtime, observed, t0)
+
+    def _record(
+        self, config: Configuration, runtime: float, observed: bool, t0: float
+    ) -> float:
+        """Shared bookkeeping of both evaluation routes."""
         self.configs.append(dict(config))
         self.runtimes.append(runtime)
         improved = runtime < self._best_ms

@@ -158,10 +158,10 @@ class BayesianGpTuner(SequentialTuner):
                         mean, std, float(y_all.min()), self.xi
                     )
                     pick = int(np.argmax(ei))
-                evaluate_features(
-                    space.flat_to_config(int(cand_flats[pick])),
-                    cand_features[pick],
-                )
+                # Flat-index route: the candidate's config dict (and, on
+                # a table-backed device, the simulator pass) is skipped.
+                objective.evaluate_flat(int(cand_flats[pick]))
+                feature_rows.append(cand_features[pick])
         except BudgetExhausted:
             pass
 

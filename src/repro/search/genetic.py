@@ -122,8 +122,7 @@ class GeneticAlgorithmTuner(SequentialTuner):
             """Measured runtime, through the cache (budget-aware)."""
             if genes in cache:
                 return cache[genes]
-            cfg = space.indices_to_config(list(genes))
-            runtime = objective.evaluate(cfg)
+            runtime = objective.evaluate_flat(space.indices_to_flat(genes))
             cache[genes] = runtime
             return runtime
 

@@ -60,7 +60,25 @@ class TestScan:
         opt = find_true_optimum(profile, TITAN_V, space)
         assert space.is_feasible(opt.config)
         assert np.isfinite(opt.runtime_ms)
-        assert opt.scanned == space.size
+        # ``scanned`` reports rows actually considered: with
+        # feasible_only the constrained-out rows are excluded.
+        feasible_wg = sum(
+            1
+            for x in range(1, 9)
+            for y in range(1, 9)
+            for z in range(1, 9)
+            if x * y * z <= 256
+        )
+        threads = 16 * 16 * 16
+        assert opt.scanned == feasible_wg * threads
+        assert 0 < opt.scanned < space.size
+
+    def test_scanned_counts_whole_space_without_filter(self, small_space):
+        profile = get_kernel("add", 512, 512).profile()
+        opt = find_true_optimum(
+            profile, TITAN_V, small_space, use_cache=False
+        )
+        assert opt.scanned == small_space.size
 
     def test_cache_hit_returns_same_object(self, small_space):
         profile = get_kernel("add", 512, 512).profile()
