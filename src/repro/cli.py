@@ -92,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=0,
         help="per-cell retries (capped backoff) for transient errors",
     )
+    parser.add_argument(
+        "--batch-replications", action="store_true",
+        help="execute same-cell replication groups through the batched "
+             "engine (shared setup + vectorized dataset work; Random "
+             "Search groups collapse to pure array reductions) — "
+             "bit-identical results, substantially faster studies",
+    )
     parser.add_argument("--save", metavar="PATH",
                         help="save results JSON to PATH")
     parser.add_argument("--svg-dir", metavar="DIR",
@@ -168,6 +175,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace_dir=args.trace_dir,
             metrics=registry,
             landscape_cache=args.landscape_cache,
+            batch_replications=args.batch_replications,
         )
     except TaskError as err:
         cell = getattr(err.task, "cell_key", repr(err.task))

@@ -14,7 +14,9 @@ from .runner import (
     ExperimentTask,
     InjectedFailure,
     NonFiniteResultError,
+    batch_group_key,
     run_experiment,
+    run_experiment_batch,
 )
 from .study import StudyConfig, build_tasks, paper_study_config, run_study
 from .telemetry import StudyTelemetry
@@ -39,6 +41,8 @@ __all__ = [
     "StudyResults",
     "ExperimentTask",
     "run_experiment",
+    "run_experiment_batch",
+    "batch_group_key",
     "StudyConfig",
     "paper_study_config",
     "run_study",

@@ -167,39 +167,10 @@ def _space_feasible_mask(
         mask = np.empty(space.size, dtype=bool)
         for start in range(0, space.size, chunk_size):
             stop = min(start + chunk_size, space.size)
-            idx = space.flats_to_index_matrix(
+            mask[start:stop] = space.feasible_mask(
                 np.arange(start, stop, dtype=np.int64)
             )
-            values = space.index_matrix_to_features(idx).astype(np.int64)
-            mask[start:stop] = _feasible_mask(space, values)
         _MASK_CACHE[key] = mask
-    return mask
-
-
-def _feasible_mask(space: SearchSpace, values: np.ndarray) -> np.ndarray:
-    """Vectorized feasibility for the common product-limit constraint.
-
-    Falls back to per-row checks for arbitrary constraint types.
-    """
-    from ..searchspace.constraints import ProductLimitConstraint
-
-    mask = np.ones(values.shape[0], dtype=bool)
-    names = space.names
-    for c in space.constraints:
-        if isinstance(c, ProductLimitConstraint):
-            prod = np.ones(values.shape[0], dtype=np.int64)
-            for pname in c.parameter_names:
-                prod = prod * values[:, names.index(pname)]
-            mask &= prod <= c.limit
-        else:
-            mask &= np.fromiter(
-                (
-                    c.is_satisfied(dict(zip(names, row)))
-                    for row in values
-                ),
-                dtype=bool,
-                count=values.shape[0],
-            )
     return mask
 
 

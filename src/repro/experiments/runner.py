@@ -10,6 +10,17 @@ Everything here is a module-level function over a frozen, picklable
 :class:`ExperimentTask`, so the study orchestrator can fan experiments out
 across processes; per-experiment RNG streams are derived from the task's
 own key, making results independent of execution order and worker count.
+
+Replications of the same study cell (tasks identical except for their
+``experiment`` index and dataset rows) additionally batch:
+:func:`run_experiment_batch` executes a whole replication group at once,
+sharing the kernel/space/landscape setup and the dataset decode across
+the group — and, for tuners implementing
+:meth:`~repro.search.Tuner.tune_batch` (Random Search), collapsing the
+entire group into vectorized array work.  Results are bit-identical to
+:func:`run_experiment` per task: every replication keeps its own
+``cell_key``-derived RNG streams, so nothing about grouping leaks into
+the numbers.
 """
 
 from __future__ import annotations
@@ -17,7 +28,7 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,8 +37,10 @@ from ..gpu.device import SimulatedDevice
 from ..gpu.noise import DEFAULT_NOISE, NoiseModel
 from ..kernels import get_kernel
 from ..obs import NULL_TRACER, MetricsRegistry, tracer_for_dir
+from ..parallel.pool import TaskFailure
 from ..parallel.rng import RngFactory
 from ..search import (
+    DatasetBatch,
     DatasetTuner,
     Objective,
     best_so_far,
@@ -41,6 +54,8 @@ from .results import ExperimentResult
 __all__ = [
     "ExperimentTask",
     "run_experiment",
+    "run_experiment_batch",
+    "batch_group_key",
     "NonFiniteResultError",
     "InjectedFailure",
 ]
@@ -112,6 +127,58 @@ class ExperimentTask:
         )
 
 
+def batch_group_key(task: ExperimentTask) -> tuple:
+    """Replication-group key: everything except the ``experiment`` index
+    (and the per-replication dataset rows that vary with it).
+
+    Tasks sharing this key run the same algorithm on the same landscape
+    with the same budget — exactly the population the batched engine can
+    execute together.
+    """
+    return (
+        task.algorithm,
+        task.kernel,
+        task.arch,
+        task.sample_size,
+        task.root_seed,
+        task.image_x,
+        task.image_y,
+        task.final_repeats,
+        task.noise,
+        task.tuner_kwargs,
+        task.trace_dir,
+        task.landscape_cache,
+    )
+
+
+@dataclass
+class _CellContext:
+    """Per-(kernel, arch) setup shared across a replication group."""
+
+    kernel: object
+    profile: object
+    space: object
+    arch: object
+    table: object
+
+
+def _context_for(task: ExperimentTask) -> _CellContext:
+    kernel = get_kernel(task.kernel, task.image_x, task.image_y)
+    profile = kernel.profile()
+    space = kernel.space()
+    arch = get_architecture(task.arch)
+    table = (
+        load_or_compute_landscape(
+            profile, arch, space, cache_dir=task.landscape_cache
+        )
+        if task.landscape_cache is not None
+        else None
+    )
+    return _CellContext(
+        kernel=kernel, profile=profile, space=space, arch=arch, table=table
+    )
+
+
 def run_experiment(task: ExperimentTask) -> ExperimentResult:
     """Execute one experiment end-to-end (search + final re-evaluation).
 
@@ -120,23 +187,30 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
     layer records a failed cell instead of propagating ``inf`` into the
     statistics.
     """
-    _injected_failure_check(task.cell_key)
-    kernel = get_kernel(task.kernel, task.image_x, task.image_y)
-    profile = kernel.profile()
-    space = kernel.space()
-    arch = get_architecture(task.arch)
+    return _run_cell(task, _context_for(task))
 
-    table = (
-        load_or_compute_landscape(
-            profile, arch, space, cache_dir=task.landscape_cache
-        )
-        if task.landscape_cache is not None
-        else None
-    )
+
+def _run_cell(
+    task: ExperimentTask,
+    ctx: _CellContext,
+    train_configs: Optional[List[dict]] = None,
+    train_features: Optional[np.ndarray] = None,
+) -> ExperimentResult:
+    """One experiment against a pre-built cell context.
+
+    ``train_configs``/``train_features`` optionally carry the decoded
+    dataset slice when the caller (the batched engine) already decoded
+    the whole replication group in one vectorized pass; they must match
+    the task's first ``sample_size - live_reserve`` dataset rows.
+    """
+    _injected_failure_check(task.cell_key)
+    space = ctx.space
+    table = ctx.table
+
     rngs = RngFactory(task.root_seed)
     device = SimulatedDevice(
-        arch,
-        profile,
+        ctx.arch,
+        ctx.profile,
         noise=task.noise,
         rng=rngs.stream_for(task.cell_key + "/device"),
         table=table,
@@ -156,6 +230,7 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
         if table is not None
         else None
     )
+    measure_flats = device.measure_flats_each if table is not None else None
 
     if isinstance(tuner, DatasetTuner):
         if task.dataset_flats is None or task.dataset_runtimes is None:
@@ -180,7 +255,8 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
                 f"{task.algorithm} (reserves {reserve} live runs)"
             )
         train = dataset.slice_for(n_train, 0)
-        train_configs = train.configs(space)
+        if train_configs is None:
+            train_configs = train.configs(space)
         dataset_best = math.inf
         if tracer.enabled:
             tracer.event(
@@ -205,6 +281,7 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
                 index_base=n_train,
                 initial_best_ms=dataset_best,
                 measure_flat=measure_flat,
+                measure_flats=measure_flats,
             )
             if reserve > 0
             else None
@@ -215,6 +292,7 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
             train.runtimes_ms,
             objective,
             search_rng,
+            train_features=train_features,
         )
         if tracer.enabled:
             tracer.event(
@@ -232,6 +310,7 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
             metrics=registry,
             cell=cell,
             measure_flat=measure_flat,
+            measure_flats=measure_flats,
         )
         result = tuner.run(objective, search_rng)
 
@@ -285,3 +364,210 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
         convergence=convergence,
         metrics=cell_metrics,
     )
+
+
+# -- batched replication engine ------------------------------------------------
+
+BatchItem = Union[ExperimentResult, TaskFailure]
+
+
+def run_experiment_batch(tasks: Sequence[ExperimentTask]) -> List[BatchItem]:
+    """Execute a replication group, one entry (result or
+    :class:`~repro.parallel.TaskFailure`) per task, in task order.
+
+    This is the ``batch_fn`` for
+    :meth:`~repro.parallel.ParallelMap.run_grouped`: tasks should share a
+    :func:`batch_group_key`, though mixed input is handled by splitting
+    into sub-groups.  Per task, the outcome is bit-identical to
+    :func:`run_experiment` — the group only shares read-only setup
+    (kernel, space, landscape table, vectorized dataset decode), never
+    RNG state.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    slots: List[Optional[BatchItem]] = [None] * len(tasks)
+    groups: Dict[tuple, List[int]] = {}
+    for i, task in enumerate(tasks):
+        groups.setdefault(batch_group_key(task), []).append(i)
+    for positions in groups.values():
+        for pos, item in zip(
+            positions, _run_group([tasks[p] for p in positions])
+        ):
+            slots[pos] = item
+    return slots  # type: ignore[return-value]
+
+
+def _run_group(tasks: List[ExperimentTask]) -> List[BatchItem]:
+    """One homogeneous replication group -> per-task results/failures."""
+    first = tasks[0]
+    try:
+        ctx = _context_for(first)
+        tuner = make_tuner(first.algorithm, **dict(first.tuner_kwargs))
+    except Exception as exc:  # noqa: BLE001 - shared setup failed
+        # Every task in the group would fail identically; attribute the
+        # same captured error to each so none is blamed for a sibling's.
+        failure = TaskFailure.from_exception(exc)
+        return [failure for _ in tasks]
+
+    if (
+        isinstance(tuner, DatasetTuner)
+        and ctx.table is not None
+        and first.trace_dir is None
+    ):
+        vectorized = _run_dataset_batch(tasks, ctx, tuner)
+        if vectorized is not None:
+            return vectorized
+
+    # Generic path: per-cell execution against the shared context, with
+    # the whole group's dataset rows decoded in one vectorized pass.
+    shared: Dict[int, tuple] = (
+        _decode_dataset_group(ctx.space, tasks, tuner)
+        if isinstance(tuner, DatasetTuner)
+        else {}
+    )
+    out: List[BatchItem] = []
+    for i, task in enumerate(tasks):
+        configs, features = shared.get(i, (None, None))
+        try:
+            out.append(
+                _run_cell(
+                    task, ctx,
+                    train_configs=configs, train_features=features,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - per-task attribution
+            out.append(TaskFailure.from_exception(exc))
+    return out
+
+
+def _decode_dataset_group(
+    space, tasks: List[ExperimentTask], tuner: DatasetTuner
+) -> Dict[int, tuple]:
+    """Decode every replication's training rows in one vectorized pass.
+
+    Returns ``{task_position: (configs, features)}`` — or ``{}`` when any
+    task's dataset payload is missing or mis-sized, in which case the
+    per-cell path re-raises the exact sequential validation errors.
+    """
+    reserve = tuner.live_reserve()
+    n_train = tasks[0].sample_size - reserve
+    if n_train < 1:
+        return {}
+    for task in tasks:
+        if task.dataset_flats is None or task.dataset_runtimes is None:
+            return {}
+        if (
+            len(task.dataset_flats) != task.sample_size
+            or len(task.dataset_runtimes) != task.sample_size
+        ):
+            return {}
+    flat_matrix = np.array(
+        [task.dataset_flats[:n_train] for task in tasks], dtype=np.int64
+    )
+    index_matrix = space.flats_to_index_matrix(flat_matrix.ravel())
+    all_configs = space.index_matrix_to_configs(index_matrix)
+    all_features = space.index_matrix_to_features(index_matrix)
+    return {
+        i: (
+            all_configs[i * n_train : (i + 1) * n_train],
+            all_features[i * n_train : (i + 1) * n_train],
+        )
+        for i in range(len(tasks))
+    }
+
+
+def _run_dataset_batch(
+    tasks: List[ExperimentTask], ctx: _CellContext, tuner: DatasetTuner
+) -> Optional[List[BatchItem]]:
+    """Fully vectorized replication group via :meth:`Tuner.tune_batch`.
+
+    Returns ``None`` when the group doesn't qualify (the tuner reserves
+    live measurements, a dataset payload is missing or mis-sized, or the
+    tuner declines ``tune_batch``) — the caller then takes the generic
+    per-cell path, which reproduces every sequential error verbatim.
+    """
+    if tuner.live_reserve() != 0:
+        return None
+    sample_size = tasks[0].sample_size
+    for task in tasks:
+        if task.dataset_flats is None or task.dataset_runtimes is None:
+            return None
+        if (
+            len(task.dataset_flats) != sample_size
+            or len(task.dataset_runtimes) != sample_size
+        ):
+            return None
+
+    space = ctx.space
+    batch = DatasetBatch(
+        flats=np.array(
+            [task.dataset_flats for task in tasks], dtype=np.int64
+        ),
+        runtimes_ms=np.array(
+            [task.dataset_runtimes for task in tasks], dtype=np.float64
+        ),
+    )
+    result = tuner.tune_batch(space, batch)
+    if result is None:
+        return None
+
+    out: List[BatchItem] = []
+    for i, task in enumerate(tasks):
+        try:
+            _injected_failure_check(task.cell_key)
+        except InjectedFailure as exc:
+            out.append(TaskFailure.from_exception(exc))
+            continue
+        best_flat = int(result.best_flats[i])
+        # Per-replication device stream, derived from the cell key alone —
+        # the final re-evaluation consumes the identical noise draws the
+        # sequential path would.  (The "/search" stream is never drawn
+        # from by a zero-reserve dataset tuner, so it isn't created.)
+        rngs = RngFactory(task.root_seed)
+        device = SimulatedDevice(
+            ctx.arch,
+            ctx.profile,
+            noise=task.noise,
+            rng=rngs.stream_for(task.cell_key + "/device"),
+            table=ctx.table,
+        )
+        finals = device.measure_flat_repeated(best_flat, task.final_repeats)
+        final_ms = float(np.mean(finals))
+        if not np.isfinite(final_ms):
+            try:
+                raise NonFiniteResultError(
+                    f"cell {task.cell_key}: chosen configuration "
+                    f"{space.flat_to_config(best_flat)!r} produced a "
+                    f"non-finite final runtime ({final_ms} ms over "
+                    f"{task.final_repeats} repeats) — the configuration "
+                    f"likely fails to launch on {task.arch}"
+                )
+            except NonFiniteResultError as exc:
+                out.append(TaskFailure.from_exception(exc))
+            continue
+        history = result.history_runtimes[i]
+        cell_metrics = {
+            "evaluations_total": float(result.samples_used),
+            "launch_failures_total": float(
+                np.count_nonzero(~np.isfinite(history))
+            ),
+            "device_launches_total": float(device.launches),
+            "final_repeats_total": float(task.final_repeats),
+        }
+        out.append(
+            ExperimentResult(
+                algorithm=task.algorithm,
+                kernel=task.kernel,
+                arch=task.arch,
+                sample_size=task.sample_size,
+                experiment=task.experiment,
+                final_runtime_ms=final_ms,
+                best_flat=best_flat,
+                observed_best_ms=float(result.best_runtimes_ms[i]),
+                samples_used=int(result.samples_used),
+                convergence=np.minimum.accumulate(history).tolist(),
+                metrics=cell_metrics,
+            )
+        )
+    return out

@@ -43,7 +43,12 @@ from .dataset import PrecollectedDataset, collect_dataset
 from .design import ExperimentDesign
 from .optimum import find_true_optimum
 from .results import StudyResults
-from .runner import ExperimentTask, run_experiment
+from .runner import (
+    ExperimentTask,
+    batch_group_key,
+    run_experiment,
+    run_experiment_batch,
+)
 from .telemetry import StudyTelemetry
 
 __all__ = ["StudyConfig", "run_study", "paper_study_config"]
@@ -222,6 +227,7 @@ def run_study(
     trace_dir: Optional[object] = None,
     metrics: Optional[MetricsRegistry] = None,
     landscape_cache: Optional[object] = None,
+    batch_replications: bool = False,
 ) -> StudyResults:
     """Run the full study described by ``config``.
 
@@ -272,6 +278,16 @@ def run_study(
         files, sharing read-only pages.  Results are bit-identical with
         the cache on or off.  ``None`` with no environment override runs
         fully live.
+    batch_replications:
+        Dispatch same-cell replication groups through the batched
+        engine (:func:`~repro.experiments.runner.run_experiment_batch`
+        via :meth:`~repro.parallel.ParallelMap.run_grouped`): the group
+        shares kernel/space/landscape setup and one vectorized dataset
+        decode, and Random Search collapses each group into pure array
+        work.  Per-cell failure attribution, retries, checkpointing and
+        telemetry behave exactly as in the per-task path, and results
+        are bit-identical — each replication keeps its own
+        cell-key-derived RNG streams.  Off by default.
     """
     config.validate()
     emit = print if progress is True else (progress or None)
@@ -357,7 +373,18 @@ def run_study(
     )
     try:
         with telemetry.phase("experiments"):
-            outcomes = pool.run(run_experiment, pending, on_outcome=on_outcome)
+            if batch_replications:
+                outcomes = pool.run_grouped(
+                    run_experiment,
+                    run_experiment_batch,
+                    pending,
+                    group_key=batch_group_key,
+                    on_outcome=on_outcome,
+                )
+            else:
+                outcomes = pool.run(
+                    run_experiment, pending, on_outcome=on_outcome
+                )
     finally:
         if ckpt is not None:
             ckpt.close()
@@ -415,6 +442,7 @@ def run_study(
         "failed_cells": failed_cells,
         "resumed_from_checkpoint": len(tasks) - len(pending),
         "failure_policy": failure_policy,
+        "batch_replications": batch_replications,
         "telemetry": telemetry.snapshot(),
         "metrics": registry.to_json(),
         "trace_dir": str(trace_dir) if trace_dir is not None else None,

@@ -242,6 +242,44 @@ class SimulatedDevice:
         self._launches += int(flats.size)
         return noisy
 
+    def measure_flats_each(self, flats: np.ndarray) -> np.ndarray:
+        """One noisy measurement per flat index with *per-measurement*
+        noise-draw granularity.
+
+        The batched-evaluation fast path for sequential tuners: one
+        fancy-index resolves every true runtime, then
+        :meth:`NoiseModel.apply_each` replays the element-at-a-time draw
+        order — so the result is bit-identical to calling
+        :meth:`measure_flat` once per index on the same stream, unlike
+        :meth:`measure_flats` whose single batched draw belongs to the
+        dataset-collection stream contract.
+        """
+        table = self._require_table("measure_flats_each")
+        flats = np.asarray(flats, dtype=np.int64)
+        _lookup_counter().inc(float(flats.size))
+        noisy = self.noise.apply_each(table.runtimes_at(flats), self.rng)
+        self._launches += int(flats.size)
+        return noisy
+
+    def measure_flat_repeated(self, flat: int, repeats: int) -> np.ndarray:
+        """Table-backed :meth:`measure_repeated` by flat index.
+
+        Returns the noisy runtimes array; bit-identical to
+        ``[m.runtime_ms for m in measure_repeated(config, repeats)]`` for
+        the configuration at ``flat`` (one lookup, one batched noise
+        draw over ``repeats`` copies of the true runtime).
+        """
+        table = self._require_table("measure_flat_repeated")
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        _lookup_counter().inc()
+        true_ms = table.runtime_at(int(flat))
+        noisy = self.noise.apply(
+            np.full(repeats, true_ms, dtype=np.float64), self.rng
+        )
+        self._launches += repeats
+        return noisy
+
     def true_runtimes(self, matrix: np.ndarray) -> SimulationResult:
         """Noise-free simulation (for optima and tests); not counted as
         launches — nothing 'runs'."""

@@ -18,6 +18,7 @@ test (rather than a t-test) the right significance test downstream.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -82,6 +83,40 @@ class NoiseModel:
                     1.0 + spike_u[spike_hit] * self.spike_magnitude
                 )
             out[finite] = vals
+        return out
+
+    def apply_each(
+        self, true_runtime_ms: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Noisy measurements with *per-measurement* draw granularity.
+
+        Bit-identical to calling :meth:`apply` on each 1-element slice in
+        order — the contract the batched replication engine relies on:
+        a sequence of single measurements draws (normal, uniform, uniform)
+        per element, interleaved, which is a different bitstream
+        assignment than one batched ``standard_normal(n)`` call.  Scalar
+        generator draws consume the underlying PCG64 stream exactly like
+        size-1 array draws, so this loop reproduces the sequential
+        element-at-a-time stream while the caller still gets one array in
+        and one array out.  ``inf`` entries pass through without
+        consuming any draws, exactly as in :meth:`apply`.
+        """
+        out = np.asarray(true_runtime_ms, dtype=np.float64).copy()
+        sigma = self.sigma
+        p_spike = self.spike_probability
+        magnitude = self.spike_magnitude
+        normal = rng.standard_normal
+        uniform = rng.random
+        for i in range(out.size):
+            x = out[i]
+            if not math.isfinite(x):
+                continue
+            x = x * np.exp(sigma * normal())
+            hit = uniform() < p_spike
+            u = uniform()
+            if hit:
+                x = x * (1.0 + u * magnitude)
+            out[i] = x
         return out
 
 

@@ -161,6 +161,18 @@ class DecisionTreeRegressor:
         self._nodes = []
         self._build(np.arange(X.shape[0]), depth=0)
         del self._bins, self._X, self._y
+        # Freeze the finished tree into flat arrays once.  _build mutates
+        # nodes after appending them (children are assigned post-recursion),
+        # so this can only happen here — and predict used to rebuild these
+        # five arrays from the node list on every call.
+        nodes = self._nodes
+        self._flat_features = np.array(
+            [n.feature for n in nodes], dtype=np.int64
+        )
+        self._flat_thresholds = np.array([n.threshold for n in nodes])
+        self._flat_lefts = np.array([n.left for n in nodes], dtype=np.int64)
+        self._flat_rights = np.array([n.right for n in nodes], dtype=np.int64)
+        self._flat_values = np.array([n.value for n in nodes])
         return self
 
     def _best_split(self, idx: np.ndarray) -> tuple:
@@ -283,11 +295,11 @@ class DecisionTreeRegressor:
             raise ValueError(
                 f"X must be (n, {self._n_features}), got shape {X.shape}"
             )
-        features = np.array([n.feature for n in self._nodes], dtype=np.int64)
-        thresholds = np.array([n.threshold for n in self._nodes])
-        lefts = np.array([n.left for n in self._nodes], dtype=np.int64)
-        rights = np.array([n.right for n in self._nodes], dtype=np.int64)
-        values = np.array([n.value for n in self._nodes])
+        features = self._flat_features
+        thresholds = self._flat_thresholds
+        lefts = self._flat_lefts
+        rights = self._flat_rights
+        values = self._flat_values
 
         current = np.zeros(X.shape[0], dtype=np.int64)
         active = features[current] != _LEAF

@@ -4,6 +4,7 @@ from .pool import (
     DEFAULT_RETRYABLE,
     ParallelMap,
     TaskError,
+    TaskFailure,
     TaskOutcome,
     TransientError,
     default_worker_count,
@@ -15,6 +16,7 @@ __all__ = [
     "hash_key_to_entropy",
     "ParallelMap",
     "TaskError",
+    "TaskFailure",
     "TaskOutcome",
     "TransientError",
     "DEFAULT_RETRYABLE",

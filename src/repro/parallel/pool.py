@@ -38,10 +38,17 @@ __all__ = [
     "ParallelMap",
     "TaskError",
     "TaskOutcome",
+    "TaskFailure",
     "TransientError",
     "DEFAULT_RETRYABLE",
     "default_worker_count",
 ]
+
+#: Default tasks per batch for :meth:`ParallelMap.run_grouped` — small
+#: enough that a failed cell's retry re-runs little work, large enough
+#: that batch-engine setup (landscape handles, tuner construction)
+#: amortizes across a replication group.
+DEFAULT_GROUP_BATCH = 64
 
 
 def default_worker_count() -> int:
@@ -112,6 +119,30 @@ class TaskOutcome:
         return self.error is None
 
 
+@dataclass
+class TaskFailure:
+    """One task's failure inside a batch.
+
+    A grouped batch function (:meth:`ParallelMap.run_grouped`) returns
+    one entry per task; putting a ``TaskFailure`` in a task's slot —
+    instead of raising and discarding the whole batch — attributes the
+    error to exactly that task while its batch-mates' results survive.
+    """
+
+    error: BaseException
+    error_type: str = ""
+    traceback: str = ""
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "TaskFailure":
+        """Capture the active exception (call from an ``except`` block)."""
+        return cls(
+            error=_picklable_error(exc),
+            error_type=type(exc).__name__,
+            traceback=_traceback.format_exc(),
+        )
+
+
 def _picklable_error(exc: BaseException) -> BaseException:
     """The exception itself if it pickles, else a faithful stand-in."""
     try:
@@ -166,6 +197,110 @@ def _run_chunk(
         _run_one(fn, start + i, task, retries, backoff, backoff_cap, retryable)
         for i, task in enumerate(chunk)
     ]
+
+
+def _finish_failed(
+    fn: Callable[[Any], Any],
+    index: int,
+    task: Any,
+    failure: TaskFailure,
+    retries: int,
+    backoff: float,
+    backoff_cap: float,
+    retryable: Tuple[Type[BaseException], ...],
+) -> TaskOutcome:
+    """Continue a batch-failed task's attempt sequence individually.
+
+    The batch execution counts as attempt 1; retryable errors re-run the
+    task through plain ``fn`` with the same capped backoff schedule
+    :func:`_run_one` would use from its second attempt onward.
+    """
+    attempt = 1
+    error = failure.error
+    error_type = failure.error_type
+    tb = failure.traceback
+    while attempt <= retries and isinstance(error, retryable):
+        time.sleep(min(backoff * 2 ** (attempt - 1), backoff_cap))
+        attempt += 1
+        try:
+            return TaskOutcome(
+                index=index, task=task, result=fn(task), attempts=attempt
+            )
+        except Exception as exc:  # noqa: BLE001 - captured, not swallowed
+            error = _picklable_error(exc)
+            error_type = type(exc).__name__
+            tb = _traceback.format_exc()
+    return TaskOutcome(
+        index=index,
+        task=task,
+        error=error,
+        error_type=error_type,
+        traceback=tb,
+        attempts=attempt,
+    )
+
+
+def _run_batch(
+    fn: Callable[[Any], Any],
+    batch_fn: Callable[[Sequence[Any]], Sequence[Any]],
+    indices: Sequence[int],
+    batch: Sequence[Any],
+    retries: int,
+    backoff: float,
+    backoff_cap: float,
+    retryable: Tuple[Type[BaseException], ...],
+) -> List[TaskOutcome]:
+    """Execute one batch with per-task attribution.
+
+    ``batch_fn`` returns one entry per task — a result, or a
+    :class:`TaskFailure` recording that task's own error.  Retryable
+    per-task failures re-run individually through ``fn``; a ``batch_fn``
+    that raises wholesale (or returns the wrong arity) falls back to
+    per-task ``fn`` execution, so a batch-engine defect can cost
+    throughput but never attribution or results.
+    """
+    try:
+        items = batch_fn(batch)
+        if len(items) != len(batch):
+            raise RuntimeError(
+                f"batch_fn returned {len(items)} entries for "
+                f"{len(batch)} tasks"
+            )
+    except Exception:  # noqa: BLE001 - engine failure, not task failure
+        return [
+            _run_one(fn, index, task, retries, backoff, backoff_cap,
+                     retryable)
+            for index, task in zip(indices, batch)
+        ]
+    outcomes: List[TaskOutcome] = []
+    for index, task, item in zip(indices, batch, items):
+        if isinstance(item, TaskFailure):
+            outcomes.append(
+                _finish_failed(fn, index, task, item, retries, backoff,
+                               backoff_cap, retryable)
+            )
+        else:
+            outcomes.append(TaskOutcome(index=index, task=task, result=item))
+    return outcomes
+
+
+def _run_batches(
+    fn: Callable[[Any], Any],
+    batch_fn: Callable[[Sequence[Any]], Sequence[Any]],
+    batches: Sequence[Tuple[Sequence[int], Sequence[Any]]],
+    retries: int,
+    backoff: float,
+    backoff_cap: float,
+    retryable: Tuple[Type[BaseException], ...],
+) -> List[TaskOutcome]:
+    """Worker entry point for grouped dispatch: many batches per message."""
+    out: List[TaskOutcome] = []
+    for indices, batch in batches:
+        out.extend(
+            _run_batch(fn, batch_fn, indices, batch, retries, backoff,
+                       backoff_cap, retryable)
+        )
+    return out
 
 
 class ParallelMap:
@@ -338,50 +473,63 @@ class ParallelMap:
         spans = [
             (i, tasks[i : i + chunk]) for i in range(0, len(tasks), chunk)
         ]
-        slots: List[Optional[TaskOutcome]] = [None] * len(tasks)
-        first_failure: Optional[TaskOutcome] = None
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            future_span = {
+            future_units = {
                 pool.submit(
                     _run_chunk, fn, start, c, self.retries, self.backoff,
                     self.backoff_cap, self.retryable,
-                ): (start, c)
+                ): [(start + i, t) for i, t in enumerate(c)]
                 for start, c in spans
             }
-            pending = set(future_span)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    start, c = future_span[fut]
-                    try:
-                        chunk_outcomes = fut.result()
-                    except Exception as exc:  # noqa: BLE001
-                        # Infrastructure failure (broken pool, unpicklable
-                        # fn/result): no worker-side attribution exists, so
-                        # every task in the chunk is marked failed.
-                        chunk_outcomes = [
-                            TaskOutcome(
-                                index=start + i,
-                                task=t,
-                                error=exc,
-                                error_type=type(exc).__name__,
-                                traceback=_traceback.format_exc(),
-                            )
-                            for i, t in enumerate(c)
-                        ]
-                    for outcome in chunk_outcomes:
-                        slots[outcome.index] = outcome
-                        if on_outcome is not None:
-                            on_outcome(outcome)
-                        if not outcome.ok and (
-                            first_failure is None
-                            or outcome.index < first_failure.index
-                        ):
-                            first_failure = outcome
-                if fail_fast and first_failure is not None:
-                    for fut in pending:
-                        fut.cancel()
-                    break
+            return self._drain_futures(
+                future_units, fail_fast, on_outcome, len(tasks)
+            )
+
+    def _drain_futures(
+        self,
+        future_units: dict,
+        fail_fast: bool,
+        on_outcome: Optional[Callable[[TaskOutcome], None]],
+        n_tasks: int,
+    ) -> List[TaskOutcome]:
+        """Drain outcome futures; ``future_units`` maps each future to its
+        ``(index, task)`` pairs for attribution if the future itself raises."""
+        slots: List[Optional[TaskOutcome]] = [None] * n_tasks
+        first_failure: Optional[TaskOutcome] = None
+        pending = set(future_units)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                unit = future_units[fut]
+                try:
+                    unit_outcomes = fut.result()
+                except Exception as exc:  # noqa: BLE001
+                    # Infrastructure failure (broken pool, unpicklable
+                    # fn/result): no worker-side attribution exists, so
+                    # every task in the unit is marked failed.
+                    unit_outcomes = [
+                        TaskOutcome(
+                            index=index,
+                            task=t,
+                            error=exc,
+                            error_type=type(exc).__name__,
+                            traceback=_traceback.format_exc(),
+                        )
+                        for index, t in unit
+                    ]
+                for outcome in unit_outcomes:
+                    slots[outcome.index] = outcome
+                    if on_outcome is not None:
+                        on_outcome(outcome)
+                    if not outcome.ok and (
+                        first_failure is None
+                        or outcome.index < first_failure.index
+                    ):
+                        first_failure = outcome
+            if fail_fast and first_failure is not None:
+                for fut in pending:
+                    fut.cancel()
+                break
         if fail_fast and first_failure is not None:
             raise TaskError(
                 first_failure.task,
@@ -390,3 +538,99 @@ class ParallelMap:
             ) from first_failure.error
         # collect mode drains everything, so every slot is filled.
         return [o for o in slots if o is not None]
+
+    # -- grouped (batched) dispatch -------------------------------------------
+    def run_grouped(
+        self,
+        fn: Callable[[Any], Any],
+        batch_fn: Callable[[Sequence[Any]], Sequence[Any]],
+        tasks: Sequence[Any],
+        group_key: Callable[[Any], Any],
+        on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
+        batch_size: Optional[int] = None,
+    ) -> List[TaskOutcome]:
+        """Like :meth:`run`, but tasks sharing a ``group_key`` are handed
+        to ``batch_fn`` together (in batches of at most ``batch_size``).
+
+        ``batch_fn(batch)`` must return one entry per task: a result, or a
+        :class:`TaskFailure` for that task's own error.  Failed tasks fall
+        back to individual ``fn`` execution for retries, and a ``batch_fn``
+        that raises wholesale degrades the whole batch to per-task ``fn``
+        runs — attribution, retries, the ``on_outcome`` hook, and the
+        failure policy behave exactly as in :meth:`run`.
+
+        Outcomes are returned in input order; grouping never reorders or
+        drops tasks, it only changes how they are packed into worker
+        messages.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        fail_fast = self.failure_policy == "fail_fast"
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "pool_workers", help="Worker processes of the last pool run."
+            ).set(self.workers)
+            on_outcome = self._metered(on_outcome)
+
+        size = batch_size or DEFAULT_GROUP_BATCH
+        groups: dict = {}
+        for i, task in enumerate(tasks):
+            groups.setdefault(group_key(task), []).append((i, task))
+        batches: List[Tuple[List[int], List[Any]]] = []
+        for members in groups.values():
+            for lo in range(0, len(members), size):
+                part = members[lo : lo + size]
+                batches.append(
+                    ([i for i, _ in part], [t for _, t in part])
+                )
+
+        if self.workers == 1 or len(tasks) == 1:
+            outcomes: List[TaskOutcome] = []
+            for indices, batch in batches:
+                for outcome in _run_batch(
+                    fn, batch_fn, indices, batch, self.retries,
+                    self.backoff, self.backoff_cap, self.retryable,
+                ):
+                    outcomes.append(outcome)
+                    if on_outcome is not None:
+                        on_outcome(outcome)
+                    if fail_fast and not outcome.ok:
+                        raise TaskError(
+                            outcome.task, outcome.error, outcome.traceback
+                        ) from outcome.error
+            outcomes.sort(key=lambda o: o.index)
+            return outcomes
+
+        # Pack whole batches into worker messages of roughly the same
+        # task count as _execute_parallel's chunks, so pickling overhead
+        # amortizes without splitting any replication group.
+        target = max(1, len(tasks) // (self.workers * 4))
+        messages: List[List[Tuple[List[int], List[Any]]]] = []
+        current: List[Tuple[List[int], List[Any]]] = []
+        current_n = 0
+        for indices, batch in batches:
+            current.append((indices, batch))
+            current_n += len(batch)
+            if current_n >= target:
+                messages.append(current)
+                current = []
+                current_n = 0
+        if current:
+            messages.append(current)
+
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            future_units = {
+                pool.submit(
+                    _run_batches, fn, batch_fn, message, self.retries,
+                    self.backoff, self.backoff_cap, self.retryable,
+                ): [
+                    (index, task)
+                    for indices, batch in message
+                    for index, task in zip(indices, batch)
+                ]
+                for message in messages
+            }
+            return self._drain_futures(
+                future_units, fail_fast, on_outcome, len(tasks)
+            )

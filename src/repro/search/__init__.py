@@ -5,7 +5,9 @@ measure live (the paper's SMBO group, Section V-C).
 """
 
 from .base import (
+    BatchTuningResult,
     BudgetExhausted,
+    DatasetBatch,
     DatasetTuner,
     Objective,
     SequentialTuner,
@@ -42,6 +44,8 @@ __all__ = [
     "Tuner",
     "SequentialTuner",
     "DatasetTuner",
+    "DatasetBatch",
+    "BatchTuningResult",
     "TuningResult",
     "best_so_far",
     "trace_dataset_rows",

@@ -38,6 +38,8 @@ __all__ = [
     "Tuner",
     "SequentialTuner",
     "DatasetTuner",
+    "DatasetBatch",
+    "BatchTuningResult",
     "best_so_far",
     "trace_dataset_rows",
 ]
@@ -104,6 +106,14 @@ class Objective:
         the config-dict -> simulator-row -> full-pipeline round trip;
         when absent, :meth:`evaluate_flat` falls back to the dict route
         with identical results.
+    measure_flats:
+        Optional ``flat_index_array -> runtime_ms_array`` callable
+        (usually ``SimulatedDevice.measure_flats_each``) backing
+        :meth:`evaluate_flats`.  It MUST consume the noise stream with
+        per-measurement draw granularity — the batch is a convenience
+        over the element-at-a-time sequence, not a different experiment.
+        When absent, :meth:`evaluate_flats` loops :meth:`evaluate_flat`
+        with identical results.
     """
 
     def __init__(
@@ -117,12 +127,14 @@ class Objective:
         index_base: int = 0,
         initial_best_ms: float = math.inf,
         measure_flat: Optional[Callable[[int], float]] = None,
+        measure_flats: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     ) -> None:
         if budget < 1:
             raise ValueError("budget must be >= 1")
         self.space = space
         self._measure = measure
         self._measure_flat = measure_flat
+        self._measure_flats = measure_flats
         self.budget = int(budget)
         self.configs: List[Configuration] = []
         self.runtimes: List[float] = []
@@ -176,6 +188,96 @@ class Objective:
         t0 = time.perf_counter() if observed else 0.0
         runtime = float(self._measure_flat(flat))
         return self._record(config, runtime, observed, t0)
+
+    def evaluate_flats(self, flats) -> List[float]:
+        """Measure many configurations by flat index (each counts
+        against the budget).
+
+        Bit-identical to calling :meth:`evaluate_flat` once per element
+        in order: history, convergence curve, trace-event stream,
+        metric counts and RNG consumption all match — the ``measure_flats``
+        backing draws noise per measurement, and recording happens per
+        evaluation.  When the batch overruns the remaining budget, the
+        affordable prefix is recorded first and :class:`BudgetExhausted`
+        is raised — exactly the objective state a sequential loop leaves
+        behind when its next call raises.
+        """
+        arr = np.asarray(flats, dtype=np.int64).ravel()
+        if self._measure_flats is None:
+            return [self.evaluate_flat(int(f)) for f in arr]
+        remaining = self.remaining
+        if remaining <= 0:
+            raise BudgetExhausted(
+                f"budget of {self.budget} evaluations exhausted"
+            )
+        take = arr[:remaining] if arr.size > remaining else arr
+        out: List[float] = []
+        if take.size:
+            observed = self.tracer.enabled or self.metrics is not None
+            t0 = time.perf_counter() if observed else 0.0
+            runtimes = self._measure_flats(take)
+            configs = self.space.flats_to_configs(take)
+            if not observed:
+                best = self._best_ms
+                for config, runtime in zip(configs, runtimes):
+                    runtime = float(runtime)
+                    self.configs.append(config)
+                    self.runtimes.append(runtime)
+                    if runtime < best:
+                        best = runtime
+                    self.best_curve.append(best)
+                    out.append(runtime)
+                self._best_ms = best
+            else:
+                # One wall-clock reading covers the whole batch; the
+                # per-evaluation instruments still advance once per
+                # evaluation, with the mean duration as each one's share.
+                per_eval = (time.perf_counter() - t0) / take.size
+                ev_counter = fail_counter = hist = None
+                if self.metrics is not None:
+                    ev_counter = self.metrics.counter("evaluations_total")
+                    fail_counter = self.metrics.counter(
+                        "launch_failures_total"
+                    )
+                    hist = self.metrics.histogram("evaluate_seconds")
+                for config, runtime in zip(configs, runtimes):
+                    runtime = float(runtime)
+                    self.configs.append(config)
+                    self.runtimes.append(runtime)
+                    improved = runtime < self._best_ms
+                    if improved:
+                        self._best_ms = runtime
+                    self.best_curve.append(self._best_ms)
+                    index = self.index_base + len(self.runtimes) - 1
+                    if ev_counter is not None:
+                        ev_counter.inc()
+                        if not math.isfinite(runtime):
+                            fail_counter.inc()
+                        hist.observe(per_eval)
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "evaluate",
+                            cell=self.cell,
+                            index=index,
+                            config={k: int(v) for k, v in config.items()},
+                            runtime_ms=runtime,
+                            best_ms=self._best_ms,
+                            source="live",
+                            duration_s=round(per_eval, 6),
+                        )
+                        if improved:
+                            self.tracer.event(
+                                "incumbent_update",
+                                cell=self.cell,
+                                index=index,
+                                runtime_ms=runtime,
+                            )
+                    out.append(runtime)
+        if take.size < arr.size:
+            raise BudgetExhausted(
+                f"budget of {self.budget} evaluations exhausted"
+            )
+        return out
 
     def _record(
         self, config: Configuration, runtime: float, observed: bool, t0: float
@@ -314,6 +416,56 @@ def trace_dataset_rows(
 
 
 @dataclass(frozen=True)
+class DatasetBatch:
+    """Stacked same-cell replication slices for :meth:`Tuner.tune_batch`.
+
+    Row ``i`` is replication ``i``'s pre-collected dataset slice — the
+    exact rows the sequential path would hand ``tune_from_dataset``, so
+    a batched tuner that reduces each row independently reproduces the
+    sequential results bit for bit.
+    """
+
+    #: ``(n_replications, S)`` flat configuration indices.
+    flats: np.ndarray
+    #: ``(n_replications, S)`` measured runtimes, ms (inf = failure).
+    runtimes_ms: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.flats.shape != self.runtimes_ms.shape:
+            raise ValueError("flats/runtimes shape mismatch")
+        if self.flats.ndim != 2:
+            raise ValueError("batch arrays must be 2-D")
+
+    @property
+    def replications(self) -> int:
+        return int(self.flats.shape[0])
+
+    @property
+    def sample_size(self) -> int:
+        return int(self.flats.shape[1])
+
+
+@dataclass(frozen=True)
+class BatchTuningResult:
+    """Vectorized outcome of tuning many same-cell replications at once.
+
+    The per-replication analogue of :class:`TuningResult` without the
+    per-row config-dict histories (the batched engine derives everything
+    downstream — convergence curves, failure counts, best configs — from
+    these arrays directly).
+    """
+
+    #: ``(n,)`` best flat index per replication.
+    best_flats: np.ndarray
+    #: ``(n,)`` observed runtime of that flat per replication, ms.
+    best_runtimes_ms: np.ndarray
+    #: ``(n, S)`` full evaluation history per replication, ms.
+    history_runtimes: np.ndarray
+    #: Measurements consumed per replication (same for all rows).
+    samples_used: int
+
+
+@dataclass(frozen=True)
 class TuningResult:
     """Outcome of one tuning run."""
 
@@ -374,6 +526,22 @@ class Tuner:
             )
         return result
 
+    def tune_batch(
+        self, space: SearchSpace, batch: DatasetBatch
+    ) -> Optional[BatchTuningResult]:
+        """Opt-in vectorized path: tune every replication in ``batch``
+        at once.
+
+        Returning a :class:`BatchTuningResult` asserts that row ``i``
+        equals what the sequential path would produce for replication
+        ``i`` — including RNG-stream discipline (this default-capable
+        API is only implemented by tuners whose per-replication work is
+        a pure reduction over the dataset slice, like Random Search).
+        The default returns ``None``: not batchable, use the sequential
+        fallback.
+        """
+        return None
+
     @staticmethod
     def _result_from(objective: Objective) -> TuningResult:
         best_config, best_runtime = objective.best_observed()
@@ -409,12 +577,17 @@ class DatasetTuner(Tuner):
         runtimes_ms: np.ndarray,
         objective: Optional[Objective],
         rng: np.random.Generator,
+        train_features: Optional[np.ndarray] = None,
     ) -> TuningResult:
         """Tune from a pre-collected (configs, runtimes) slice.
 
         ``objective`` supplies any *additional* live measurements the
         method needs (RF evaluates its top predictions); its budget must
         account for the dataset rows already consumed.
+        ``train_features`` optionally carries the ``to_features(configs)``
+        matrix precomputed by the caller — the batched engine decodes a
+        whole replication group's rows in one vectorized pass and shares
+        the result; tuners that don't fit a surrogate ignore it.
         """
         raise NotImplementedError
 

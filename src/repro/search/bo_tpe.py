@@ -119,11 +119,16 @@ class BayesianTpeTuner(SequentialTuner):
     def tune(self, objective: Objective, rng: np.random.Generator) -> TuningResult:
         space = objective.space
         n_startup = min(self.n_startup, objective.budget)
+        # The observation index matrix grows by one row per evaluation;
+        # maintaining the rows incrementally keeps each iteration O(n)
+        # instead of re-encoding the entire history (O(n^2) per run).
+        index_rows = []
         try:
             for cfg in space.sample(
                 rng, n_startup, feasible_only=self.respect_constraints
             ):
                 objective.evaluate(cfg)
+                index_rows.append(space.config_to_indices(cfg))
 
             while objective.remaining > 0:
                 # The Parzen-estimator build and candidate scoring are one
@@ -131,14 +136,13 @@ class BayesianTpeTuner(SequentialTuner):
                 with objective.span(
                     "model_fit", n_obs=objective.evaluations
                 ):
-                    obs = np.stack(
-                        [space.config_to_indices(c) for c in objective.configs]
-                    )
+                    obs = np.stack(index_rows)
                     losses = log_runtime(
                         penalize_failures(np.asarray(objective.runtimes))
                     )
                     suggestion = self._suggest(space, obs, losses, rng)
                 objective.evaluate(suggestion)
+                index_rows.append(space.config_to_indices(suggestion))
         except BudgetExhausted:
             pass
 

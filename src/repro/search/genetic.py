@@ -118,13 +118,32 @@ class GeneticAlgorithmTuner(SequentialTuner):
         space = objective.space
         cache: Dict[Tuple[int, ...], float] = {}
 
-        def fitness(genes: Tuple[int, ...]) -> float:
-            """Measured runtime, through the cache (budget-aware)."""
-            if genes in cache:
-                return cache[genes]
-            runtime = objective.evaluate_flat(space.indices_to_flat(genes))
-            cache[genes] = runtime
-            return runtime
+        def score_generation(
+            population: List[Tuple[int, ...]],
+        ) -> List[Tuple[Tuple[int, ...], float]]:
+            """Fitness of every individual, through the cache.
+
+            Uncached individuals are evaluated as *one* batch in
+            first-occurrence order — the exact order (and therefore the
+            exact RNG stream and history) a per-individual loop through
+            the cache would produce, but with a single table
+            fancy-index per generation.  A mid-batch budget exhaustion
+            propagates after the affordable prefix is recorded, just
+            like the per-individual loop's overflowing call.
+            """
+            pending: List[Tuple[int, ...]] = []
+            seen = set()
+            for genes in population:
+                if genes not in cache and genes not in seen:
+                    pending.append(genes)
+                    seen.add(genes)
+            if pending:
+                flats = space.index_matrix_to_flats(
+                    np.array(pending, dtype=np.int64)
+                )
+                runtimes = objective.evaluate_flats(flats)
+                cache.update(zip(pending, runtimes))
+            return [(genes, cache[genes]) for genes in population]
 
         population = [
             self._random_individual(objective, rng)
@@ -133,7 +152,7 @@ class GeneticAlgorithmTuner(SequentialTuner):
         try:
             while True:
                 before = objective.evaluations
-                scored = [(ind, fitness(ind)) for ind in population]
+                scored = score_generation(population)
                 # Rank best-first; launch failures (inf) sink to the back.
                 scored.sort(key=lambda t: (not np.isfinite(t[1]), t[1]))
 

@@ -72,8 +72,11 @@ class ParticleSwarmTuner(SequentialTuner):
                 for x, c in zip(position, cards)
             )
             if genes not in cache:
-                runtime = objective.evaluate(
-                    space.indices_to_config(list(genes))
+                # Flat-index route: on a table-backed device this skips
+                # the config-dict -> simulator-row round trip entirely;
+                # results and RNG consumption are identical either way.
+                runtime = objective.evaluate_flat(
+                    space.indices_to_flat(genes)
                 )
                 if np.isfinite(runtime):
                     worst_seen = max(worst_seen, runtime)

@@ -78,6 +78,7 @@ class RandomForestTuner(DatasetTuner):
         runtimes_ms: np.ndarray,
         objective: Optional[Objective],
         rng: np.random.Generator,
+        train_features: Optional[np.ndarray] = None,
     ) -> TuningResult:
         runtimes_ms = np.asarray(runtimes_ms, dtype=np.float64)
         if len(configs) != runtimes_ms.size:
@@ -94,7 +95,11 @@ class RandomForestTuner(DatasetTuner):
         # paper gives no sign of a log transform) — with heavy-tailed
         # runtimes this costs the forest resolution near the optimum,
         # which is consistent with the weak RF results the paper reports.
-        X = space.to_features(configs)
+        X = (
+            train_features
+            if train_features is not None
+            else space.to_features(configs)
+        )
         y = penalize_failures(runtimes_ms)
         forest = RandomForestRegressor(
             n_estimators=self.n_estimators, rng=rng

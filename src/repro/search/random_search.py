@@ -14,7 +14,13 @@ from typing import List, Optional
 import numpy as np
 
 from ..searchspace import SearchSpace
-from .base import DatasetTuner, Objective, TuningResult
+from .base import (
+    BatchTuningResult,
+    DatasetBatch,
+    DatasetTuner,
+    Objective,
+    TuningResult,
+)
 
 __all__ = ["RandomSearchTuner"]
 
@@ -25,6 +31,32 @@ class RandomSearchTuner(DatasetTuner):
     name = "random_search"
     label = "RS"
 
+    def tune_batch(
+        self, space: SearchSpace, batch: DatasetBatch
+    ) -> Optional[BatchTuningResult]:
+        """All replications at once: one row-wise masked argmin.
+
+        RS consumes no search-RNG draws and performs no live
+        measurements, so an entire replication group reduces to pure
+        array work.  Row semantics match :meth:`tune_from_dataset`
+        exactly: the first finite minimum wins; a row with no finite
+        entry falls back to its first sample (``inf`` masking leaves
+        ``argmin`` at index 0 there, the same fallback the sequential
+        code takes explicitly).
+        """
+        runtimes = np.asarray(batch.runtimes_ms, dtype=np.float64)
+        if runtimes.shape[1] == 0:
+            raise ValueError("random search needs at least one sample")
+        masked = np.where(np.isfinite(runtimes), runtimes, np.inf)
+        best = np.argmin(masked, axis=1)
+        rows = np.arange(runtimes.shape[0])
+        return BatchTuningResult(
+            best_flats=np.asarray(batch.flats, dtype=np.int64)[rows, best],
+            best_runtimes_ms=runtimes[rows, best],
+            history_runtimes=runtimes,
+            samples_used=int(runtimes.shape[1]),
+        )
+
     def tune_from_dataset(
         self,
         space: SearchSpace,
@@ -32,6 +64,7 @@ class RandomSearchTuner(DatasetTuner):
         runtimes_ms: np.ndarray,
         objective: Optional[Objective],
         rng: np.random.Generator,
+        train_features: Optional[np.ndarray] = None,
     ) -> TuningResult:
         runtimes_ms = np.asarray(runtimes_ms, dtype=np.float64)
         if len(configs) != runtimes_ms.size:

@@ -13,7 +13,9 @@ first-class, composable concept here.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
 
 __all__ = [
     "Constraint",
@@ -35,6 +37,20 @@ class Constraint:
 
     def is_satisfied(self, config: Configuration) -> bool:
         raise NotImplementedError
+
+    def satisfied_matrix(
+        self, columns: Mapping[str, np.ndarray]
+    ) -> Optional[np.ndarray]:
+        """Vectorized :meth:`is_satisfied` over ``n`` rows at once.
+
+        ``columns`` maps each name in :attr:`parameter_names` to the
+        ``(n,)`` array of that parameter's values.  Returns an ``(n,)``
+        boolean mask that must equal the per-row scalar evaluation
+        bit-for-bit (implementations replay the scalar arithmetic in the
+        same order), or ``None`` when the constraint has no vectorized
+        form and the caller must fall back to per-row checks.
+        """
+        return None
 
     def describe(self) -> str:
         return self.__class__.__name__
@@ -77,6 +93,23 @@ class ProductLimitConstraint(Constraint):
                 return False
         return True
 
+    def satisfied_matrix(
+        self, columns: Mapping[str, np.ndarray]
+    ) -> Optional[np.ndarray]:
+        if not self.parameter_names:
+            return None  # row count is unknowable without a column
+        # The scalar path rejects as soon as a running prefix exceeds the
+        # limit, which differs from "final product <= limit" when a later
+        # factor is zero or negative — so track every prefix.
+        ok = None
+        prod = None
+        for name in self.parameter_names:
+            values = columns[name].astype(np.int64)
+            prod = values if prod is None else prod * values
+            within = prod <= self.limit
+            ok = within if ok is None else ok & within
+        return ok
+
     def describe(self) -> str:
         names = " * ".join(self.parameter_names)
         return f"{names} <= {self.limit}"
@@ -93,6 +126,19 @@ class SumLimitConstraint(Constraint):
         total = 0.0
         for name in self.parameter_names:
             total += float(config[name])  # type: ignore[arg-type]
+        return total <= self.limit
+
+    def satisfied_matrix(
+        self, columns: Mapping[str, np.ndarray]
+    ) -> Optional[np.ndarray]:
+        if not self.parameter_names:
+            return None
+        # Accumulate left-to-right, one float64 addition per step, so the
+        # rounding matches the scalar loop exactly.
+        total = None
+        for name in self.parameter_names:
+            values = columns[name].astype(np.float64)
+            total = values + 0.0 if total is None else total + values
         return total <= self.limit
 
     def describe(self) -> str:

@@ -96,6 +96,14 @@ class SearchSpace:
             )
             for p in self._parameters
         )
+        # Per-parameter ordinal-index -> value lookup lists (plain Python
+        # values, so vectorized decodes hand out the same dict payloads
+        # as flat_to_config): the batched replication engine decodes
+        # whole dataset slices at once through these.
+        self._value_columns = tuple(
+            [p.value_at(i) for i in range(p.cardinality)]
+            for p in self._parameters
+        )
 
     # -- basic introspection ------------------------------------------------
     @property
@@ -197,6 +205,48 @@ class SearchSpace:
             out[:, i], rem = np.divmod(rem, int(place))
         return out
 
+    def index_matrix_to_flats(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`indices_to_flat` for an ``(n, d)`` matrix."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 2 or indices.shape[1] != self.dimensions:
+            raise ValueError(
+                f"expected an (n, {self.dimensions}) index matrix, got "
+                f"shape {indices.shape}"
+            )
+        if indices.size and (
+            indices.min() < 0 or (indices >= self._cardinalities).any()
+        ):
+            raise ValueError("index matrix has out-of-range entries")
+        return indices @ self._radix
+
+    def index_matrix_to_configs(
+        self, indices: np.ndarray
+    ) -> List[Configuration]:
+        """Vectorized :meth:`indices_to_config` for an ``(n, d)`` matrix.
+
+        The dictionaries carry the exact same (Python-native) values as
+        the scalar decode, so histories built from either route compare
+        equal.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 2 or indices.shape[1] != self.dimensions:
+            raise ValueError(
+                f"expected an (n, {self.dimensions}) index matrix, got "
+                f"shape {indices.shape}"
+            )
+        names = [p.name for p in self._parameters]
+        columns = [
+            [column[i] for i in indices[:, c].tolist()]
+            for c, column in enumerate(self._value_columns)
+        ]
+        return [dict(zip(names, row)) for row in zip(*columns)]
+
+    def flats_to_configs(self, flats: np.ndarray) -> List[Configuration]:
+        """Vectorized :meth:`flat_to_config` for an array of flat indices."""
+        return self.index_matrix_to_configs(
+            self.flats_to_index_matrix(np.asarray(flats, dtype=np.int64))
+        )
+
     # -- model features -------------------------------------------------------
     def to_features(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
         """Configurations -> ``(n, d)`` float feature matrix for surrogates."""
@@ -224,6 +274,50 @@ class SearchSpace:
     # -- feasibility ----------------------------------------------------------
     def is_feasible(self, config: Mapping[str, Any]) -> bool:
         return self._constraints.is_satisfied(config)
+
+    def feasible_mask(self, flats: np.ndarray) -> np.ndarray:
+        """Vectorized per-row :meth:`is_feasible` for an array of flats.
+
+        Bit-identical to ``is_feasible(flat_to_config(f))`` per row:
+        constraints with a vectorized form (:meth:`Constraint.
+        satisfied_matrix`) replay the scalar arithmetic column-wise, and
+        any constraint without one is evaluated per row — but only on the
+        rows every vectorized constraint already accepted.
+        """
+        flats = np.asarray(flats, dtype=np.int64)
+        mask = np.ones(flats.size, dtype=bool)
+        if len(self._constraints) == 0 or flats.size == 0:
+            return mask
+        indices = self.flats_to_index_matrix(flats)
+        col_of = {p.name: c for c, p in enumerate(self._parameters)}
+        column_cache: dict = {}
+
+        def column(name: str) -> np.ndarray:
+            if name not in column_cache:
+                values = np.asarray(self._value_columns[col_of[name]])
+                column_cache[name] = values[indices[:, col_of[name]]]
+            return column_cache[name]
+
+        slow = []
+        for constraint in self._constraints:
+            sub = None
+            try:
+                sub = constraint.satisfied_matrix(
+                    {name: column(name) for name in constraint.parameter_names}
+                )
+            except (TypeError, ValueError):
+                sub = None  # non-numeric values etc.: per-row fallback
+            if sub is None:
+                slow.append(constraint)
+            else:
+                mask &= sub
+        if slow:
+            rows = np.nonzero(mask)[0]
+            if rows.size:
+                configs = self.index_matrix_to_configs(indices[rows])
+                for r, cfg in zip(rows, configs):
+                    mask[r] = all(c.is_satisfied(cfg) for c in slow)
+        return mask
 
     def with_constraints(self, *more: Constraint) -> "SearchSpace":
         """A copy of this space with additional constraints."""
@@ -278,12 +372,7 @@ class SearchSpace:
             if attempts > 1000:
                 raise RuntimeError("feasible sampling failed to converge")
             cand = rng.integers(0, self._size, size=max(need * 2, 64), dtype=np.int64)
-            mask = np.fromiter(
-                (self.is_feasible(self.flat_to_config(int(f))) for f in cand),
-                dtype=bool,
-                count=cand.size,
-            )
-            good = cand[mask][:need]
+            good = cand[self.feasible_mask(cand)][:need]
             chunks.append(good)
             need -= good.size
         return np.concatenate(chunks)
@@ -328,9 +417,7 @@ class SearchSpace:
             return sum(1 for _ in self.enumerate_feasible())
         rng = rng or np.random.default_rng(0)
         flats = rng.integers(0, self._size, size=sample)
-        hits = sum(
-            1 for f in flats if self.is_feasible(self.flat_to_config(int(f)))
-        )
+        hits = int(self.feasible_mask(flats).sum())
         return int(round(hits / sample * self._size))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

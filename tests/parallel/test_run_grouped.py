@@ -1,0 +1,256 @@
+"""Grouped (batched) pool dispatch: ordering, attribution, retries.
+
+``ParallelMap.run_grouped`` ships whole replication groups to a batch
+function; these tests pin the contract the batched study engine relies
+on: outcomes stay in input order, a failure inside a batch is attributed
+to exactly the task that failed (its batch-mates' results survive), only
+the failed task is re-run on retry, and a batch function that raises
+wholesale degrades to per-task execution without losing anything.
+"""
+
+import pytest
+
+from repro.parallel import ParallelMap, TaskError, TaskFailure, TransientError
+from repro.parallel.pool import DEFAULT_GROUP_BATCH, _run_batch
+
+# Module-level functions so the workers>1 paths can pickle them.
+
+CALLS = []
+
+
+def square(task):
+    return task * task
+
+
+def square_batch(batch):
+    return [t * t for t in batch]
+
+
+def batch_with_failures(batch):
+    out = []
+    for t in batch:
+        if t % 10 == 3:
+            try:
+                raise ValueError(f"task {t} is bad")
+            except ValueError as exc:
+                out.append(TaskFailure.from_exception(exc))
+        else:
+            out.append(t * t)
+    return out
+
+
+def exploding_batch(batch):
+    raise RuntimeError("engine is broken")
+
+
+def wrong_arity_batch(batch):
+    return [t * t for t in batch][:-1]
+
+
+def group_of(task):
+    return task % 2
+
+
+class TestRunGroupedSerial:
+    def test_results_in_input_order(self):
+        pool = ParallelMap(workers=1)
+        tasks = [5, 2, 9, 4, 7, 0]
+        outcomes = pool.run_grouped(square, square_batch, tasks, group_of)
+        assert [o.index for o in outcomes] == list(range(len(tasks)))
+        assert [o.result for o in outcomes] == [t * t for t in tasks]
+        assert all(o.ok for o in outcomes)
+
+    def test_empty_tasks(self):
+        pool = ParallelMap(workers=1)
+        assert pool.run_grouped(square, square_batch, [], group_of) == []
+
+    def test_groups_split_into_batches(self):
+        seen = []
+
+        def recording_batch(batch):
+            seen.append(list(batch))
+            return [t * t for t in batch]
+
+        pool = ParallelMap(workers=1, failure_policy="collect")
+        tasks = list(range(10))
+        pool.run_grouped(
+            square, recording_batch, tasks, group_of, batch_size=3
+        )
+        # Two groups (even/odd), each of 5 tasks, split 3 + 2.
+        assert sorted(len(b) for b in seen) == [2, 2, 3, 3]
+        for batch in seen:
+            keys = {group_of(t) for t in batch}
+            assert len(keys) == 1  # no batch mixes groups
+
+    def test_default_batch_size_bounds_batches(self):
+        seen = []
+
+        def recording_batch(batch):
+            seen.append(len(batch))
+            return [0] * len(batch)
+
+        pool = ParallelMap(workers=1, failure_policy="collect")
+        pool.run_grouped(
+            square, recording_batch, list(range(150)), lambda t: 0
+        )
+        assert max(seen) == DEFAULT_GROUP_BATCH
+
+    def test_failure_attributed_to_exact_task(self):
+        pool = ParallelMap(workers=1, failure_policy="collect")
+        tasks = [1, 3, 5, 13, 7]  # all one group; 3 and 13 fail
+        outcomes = pool.run_grouped(
+            square, batch_with_failures, tasks, lambda t: 0
+        )
+        failed = [o for o in outcomes if not o.ok]
+        assert [o.task for o in failed] == [3, 13]
+        for o in failed:
+            assert o.error_type == "ValueError"
+            assert f"task {o.task} is bad" in str(o.error)
+            assert "ValueError" in o.traceback
+        # Batch-mates of the failures keep their results.
+        assert [o.result for o in outcomes if o.ok] == [1, 25, 49]
+
+    def test_fail_fast_raises_naming_the_task(self):
+        pool = ParallelMap(workers=1, failure_policy="fail_fast")
+        with pytest.raises(TaskError) as err:
+            pool.run_grouped(
+                square, batch_with_failures, [1, 3, 5], lambda t: 0
+            )
+        assert err.value.task == 3
+
+    def test_batch_fn_exception_falls_back_to_per_task(self):
+        pool = ParallelMap(workers=1)
+        outcomes = pool.run_grouped(
+            square, exploding_batch, [2, 3, 4], lambda t: 0
+        )
+        assert [o.result for o in outcomes] == [4, 9, 16]
+
+    def test_wrong_arity_falls_back_to_per_task(self):
+        pool = ParallelMap(workers=1)
+        outcomes = pool.run_grouped(
+            square, wrong_arity_batch, [2, 3, 4], lambda t: 0
+        )
+        assert [o.result for o in outcomes] == [4, 9, 16]
+
+    def test_on_outcome_sees_every_task(self):
+        pool = ParallelMap(workers=1, failure_policy="collect")
+        seen = []
+        pool.run_grouped(
+            square,
+            batch_with_failures,
+            [1, 3, 5],
+            lambda t: 0,
+            on_outcome=seen.append,
+        )
+        assert sorted(o.task for o in seen) == [1, 3, 5]
+
+
+class TestRetryWithinBatch:
+    def test_only_failed_task_retried(self):
+        attempts = []
+
+        def flaky(task):
+            attempts.append(task)
+            return task * task
+
+        def transient_batch(batch):
+            out = []
+            for t in batch:
+                if t == 3:
+                    try:
+                        raise TransientError("hiccup")
+                    except TransientError as exc:
+                        out.append(TaskFailure.from_exception(exc))
+                else:
+                    out.append(t * t)
+            return out
+
+        pool = ParallelMap(
+            workers=1, failure_policy="collect", retries=2, backoff=0.0
+        )
+        outcomes = pool.run_grouped(
+            flaky, transient_batch, [1, 3, 5], lambda t: 0
+        )
+        # Only the failed task went through the per-task function.
+        assert attempts == [3]
+        assert all(o.ok for o in outcomes)
+        retried = next(o for o in outcomes if o.task == 3)
+        assert retried.attempts == 2  # batch try + one individual retry
+        assert retried.result == 9
+        assert all(o.attempts == 1 for o in outcomes if o.task != 3)
+
+    def test_nonretryable_failure_not_rerun(self):
+        attempts = []
+
+        def flaky(task):
+            attempts.append(task)
+            return task * task
+
+        pool = ParallelMap(
+            workers=1, failure_policy="collect", retries=3, backoff=0.0
+        )
+        outcomes = pool.run_grouped(
+            flaky, batch_with_failures, [1, 3], lambda t: 0
+        )
+        assert attempts == []  # ValueError is not retryable
+        bad = next(o for o in outcomes if o.task == 3)
+        assert not bad.ok and bad.attempts == 1
+
+    def test_retry_exhaustion_reports_last_error(self):
+        def always_fails(task):
+            raise TransientError(f"still down ({task})")
+
+        def transient_batch(batch):
+            out = []
+            for t in batch:
+                try:
+                    raise TransientError("first failure")
+                except TransientError as exc:
+                    out.append(TaskFailure.from_exception(exc))
+            return out
+
+        pool = ParallelMap(
+            workers=1, failure_policy="collect", retries=2, backoff=0.0
+        )
+        outcomes = pool.run_grouped(
+            always_fails, transient_batch, [7], lambda t: 0
+        )
+        (outcome,) = outcomes
+        assert not outcome.ok
+        assert outcome.attempts == 3  # batch + 2 retries
+        assert "still down (7)" in str(outcome.error)
+
+
+class TestRunGroupedParallel:
+    def test_matches_serial_results(self):
+        tasks = list(range(23))
+        serial = ParallelMap(workers=1).run_grouped(
+            square, square_batch, tasks, group_of
+        )
+        parallel = ParallelMap(workers=2).run_grouped(
+            square, square_batch, tasks, group_of
+        )
+        assert [o.result for o in serial] == [o.result for o in parallel]
+        assert [o.index for o in parallel] == list(range(len(tasks)))
+
+    def test_parallel_failure_attribution(self):
+        tasks = [1, 3, 5, 13, 7, 2, 4]
+        pool = ParallelMap(workers=2, failure_policy="collect")
+        outcomes = pool.run_grouped(
+            square, batch_with_failures, tasks, group_of
+        )
+        assert sorted(o.task for o in outcomes if not o.ok) == [3, 13]
+        assert sorted(o.result for o in outcomes if o.ok) == sorted(
+            t * t for t in tasks if t % 10 != 3
+        )
+
+
+class TestRunBatchUnit:
+    def test_result_slots_map_one_to_one(self):
+        outcomes = _run_batch(
+            square, batch_with_failures, [10, 11, 12], [5, 3, 9],
+            retries=0, backoff=0.0, backoff_cap=0.0, retryable=(),
+        )
+        assert [o.index for o in outcomes] == [10, 11, 12]
+        assert [o.task for o in outcomes] == [5, 3, 9]
+        assert [o.ok for o in outcomes] == [True, False, True]

@@ -188,6 +188,71 @@ class TestConstraints:
         assert limited.count_feasible() == expected
 
 
+class TestFeasibleMask:
+    def test_matches_per_row_checks_paper_space(self):
+        space = paper_search_space()
+        flats = np.random.default_rng(0).integers(0, space.size, 2000)
+        mask = space.feasible_mask(flats)
+        expected = np.array(
+            [space.is_feasible(space.flat_to_config(int(f))) for f in flats]
+        )
+        np.testing.assert_array_equal(mask, expected)
+        assert 0 < mask.sum() < mask.size  # both classes exercised
+
+    def test_unconstrained_all_true(self, small_space):
+        mask = small_space.feasible_mask(np.arange(small_space.size))
+        assert mask.all()
+
+    def test_empty_input(self):
+        space = paper_search_space()
+        assert space.feasible_mask(np.array([], dtype=np.int64)).shape == (0,)
+
+    def test_predicate_constraint_falls_back_per_row(self, small_space):
+        from repro.searchspace import PredicateConstraint
+
+        calls = []
+
+        def odd_sum(cfg):
+            calls.append(dict(cfg))
+            return (cfg["a"] + cfg["c"]) % 2 == 1
+
+        limited = small_space.with_constraints(
+            workgroup_product_limit(("a", "c"), 6),
+            PredicateConstraint(odd_sum, name="odd-sum"),
+        )
+        flats = np.arange(limited.size)
+        mask = limited.feasible_mask(flats)
+        mask_calls = len(calls)
+        expected = np.array(
+            [limited.is_feasible(limited.flat_to_config(int(f)))
+             for f in flats]
+        )
+        np.testing.assert_array_equal(mask, expected)
+        # The predicate only ran on rows the vectorized product
+        # constraint accepted.
+        assert mask_calls == int(
+            limited.without_constraints()
+            .with_constraints(workgroup_product_limit(("a", "c"), 6))
+            .feasible_mask(flats)
+            .sum()
+        )
+
+    def test_product_prefix_semantics_with_zero(self):
+        # Scalar rejection happens on a running prefix: (a*b) may exceed
+        # the limit even when a later zero pulls the product back under.
+        from repro.searchspace.constraints import ProductLimitConstraint
+
+        space = SearchSpace(
+            [IntegerParameter("a", 0, 9), IntegerParameter("b", 0, 9)],
+            [ProductLimitConstraint(parameter_names=("a", "b"), limit=8)],
+        )
+        flats = np.arange(space.size)
+        expected = np.array(
+            [space.is_feasible(space.flat_to_config(int(f))) for f in flats]
+        )
+        np.testing.assert_array_equal(space.feasible_mask(flats), expected)
+
+
 class TestSampling:
     def test_sample_feasible_only(self):
         space = paper_search_space()
