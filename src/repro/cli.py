@@ -23,7 +23,12 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .experiments import ExperimentDesign, StudyConfig, run_study
+from .experiments import (
+    AdaptiveConfig,
+    ExperimentDesign,
+    StudyConfig,
+    run_study,
+)
 from .obs import MetricsRegistry
 from .parallel import TaskError
 from .gpu.arch import PAPER_ARCHITECTURES
@@ -99,6 +104,38 @@ def build_parser() -> argparse.ArgumentParser:
              "Search groups collapse to pure array reductions) — "
              "bit-identical results, substantially faster studies",
     )
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="adaptive sequential replication: grow each (algorithm, "
+             "kernel, arch, S) replication group in batches and stop "
+             "once an anytime-valid bootstrap CI on its median "
+             "percent-of-optimum reaches the target halfwidth (or the "
+             "group hits its fixed-design ceiling); stopping decisions "
+             "are checkpointed and replayed bit-identically on resume",
+    )
+    parser.add_argument(
+        "--adaptive-ci-target", type=float, default=1.0, metavar="PCT",
+        help="stop a group when its CI halfwidth (percentage points of "
+             "percent-of-optimum) drops to this target",
+    )
+    parser.add_argument(
+        "--adaptive-confidence", type=float, default=0.95, metavar="C",
+        help="total (familywise) confidence of the stopping rule; each "
+             "look spends alpha/(k*(k+1)) of alpha = 1 - C",
+    )
+    parser.add_argument(
+        "--adaptive-batch", type=int, default=8, metavar="N",
+        help="replications added per look",
+    )
+    parser.add_argument(
+        "--adaptive-min", type=int, default=8, metavar="N",
+        help="replications run before the first look (floor)",
+    )
+    parser.add_argument(
+        "--adaptive-max", type=int, default=None, metavar="N",
+        help="hard per-group replication ceiling (default: the fixed "
+             "design's experiment count for the group's sample size)",
+    )
     parser.add_argument("--save", metavar="PATH",
                         help="save results JSON to PATH")
     parser.add_argument("--svg-dir", metavar="DIR",
@@ -164,6 +201,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
     )
     status(f"design: {design.describe()}")
+    adaptive = None
+    if args.adaptive:
+        adaptive = AdaptiveConfig(
+            ci_target=args.adaptive_ci_target,
+            confidence=args.adaptive_confidence,
+            batch_size=args.adaptive_batch,
+            min_replications=args.adaptive_min,
+            max_replications=args.adaptive_max,
+        )
+        status(f"adaptive: {adaptive.describe()}")
     registry = MetricsRegistry()
     try:
         results = run_study(
@@ -176,6 +223,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             metrics=registry,
             landscape_cache=args.landscape_cache,
             batch_replications=args.batch_replications,
+            adaptive=adaptive,
         )
     except TaskError as err:
         cell = getattr(err.task, "cell_key", repr(err.task))
@@ -194,6 +242,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         status(f"WARNING: {len(results.failed_cells)} cells failed:")
         for cell in results.failed_cells:
             status(f"  {cell['cell_key']}: {cell['error']}")
+
+    adaptive_meta = results.metadata.get("adaptive")
+    if adaptive_meta:
+        status(
+            "adaptive: {executed}/{budget} replications run "
+            "({saved} saved, {stopped} groups at CI target)".format(
+                executed=adaptive_meta["replications_executed"],
+                budget=adaptive_meta["replications_budget"],
+                saved=adaptive_meta["replications_saved"],
+                stopped=sum(
+                    1
+                    for g in adaptive_meta["groups"].values()
+                    if g["reason"] == "ci_target"
+                ),
+            )
+        )
 
     if args.save:
         results.save(args.save)

@@ -19,13 +19,22 @@ File format (one JSON object per line)::
     {"kind": "result", "cell_key": "rs/add/titan_v/25/0", "data": {...}}
     {"kind": "failure", "cell_key": "...", "error": "...", "error_type":
      "...", "traceback": "..."}
+    {"kind": "stopped", "group_key": "rs/add/titan_v/25", "data": {...}}
 
-* The header guards against resuming with a mismatched study seed.
+* The header guards against resuming with a mismatched study seed.  A
+  non-empty file with no header line (e.g. a torn first write) is
+  rejected outright — its seed and version cannot be validated.
 * ``result`` lines carry the full ``ExperimentResult`` as a dict.
 * ``failure`` lines are informational: failed cells are *retried* on
   resume (only completed cells are skipped).
+* ``stopped`` lines record an adaptive-replication stopping decision for
+  one replication group (``algorithm/kernel/arch/sample_size``); on
+  resume the decision is replayed instead of re-derived, so a resumed
+  adaptive study grows exactly the cells the uninterrupted one would.
 * A torn final line — the signature of a killed process — is ignored on
-  load; every complete line before it is recovered.
+  load, and trimmed from the file before the resumed run appends (so
+  new lines are never glued onto the fragment); every complete line
+  before it is recovered.
 """
 
 from __future__ import annotations
@@ -68,8 +77,16 @@ class StudyCheckpoint:
         self.completed: Dict[str, ExperimentResult] = {}
         #: cell_key -> recorded failure info (latest per cell).
         self.failures: Dict[str, dict] = {}
+        #: group_key -> adaptive stopping decision, recovered from disk.
+        self.stopped: Dict[str, dict] = {}
         self._fh = None
         self._has_header = False
+        #: Byte offset of the end of the last *valid* line, set when a
+        #: torn final line was dropped on load.  ``open()`` truncates the
+        #: file here before appending — otherwise the first new line
+        #: would be glued onto the torn fragment, corrupting the file
+        #: for every later resume.
+        self._trim_to: Optional[int] = None
         if self.path.exists():
             self._load()
 
@@ -77,21 +94,34 @@ class StudyCheckpoint:
     def _load(self) -> None:
         text = self.path.read_text()
         lines = text.splitlines()
+        seen_content = False
         for lineno, line in enumerate(lines):
+            raw = line
             line = line.strip()
             if not line:
                 continue
+            seen_content = True
             try:
                 doc = json.loads(line)
             except json.JSONDecodeError:
                 if lineno == len(lines) - 1:
-                    # Torn final line from a killed writer; drop it.
+                    # Torn final line from a killed writer; drop it, and
+                    # remember where the valid prefix ends so open() can
+                    # trim the fragment before appending.
+                    tail = len(raw.encode("utf-8"))
+                    if text.endswith("\n"):
+                        tail += 1
+                    self._trim_to = len(text.encode("utf-8")) - tail
                     break
                 raise CheckpointMismatchError(
                     f"{self.path}: line {lineno + 1} is not valid JSON — "
                     f"the checkpoint is corrupt"
                 ) from None
             kind = doc.get("kind")
+            if not self._has_header and kind != "header":
+                # The header is always the first line written; any other
+                # leading content means the file cannot be validated.
+                self._raise_headerless()
             if kind == "header":
                 self._check_header(doc)
                 self._has_header = True
@@ -103,7 +133,25 @@ class StudyCheckpoint:
                     k: doc.get(k, "")
                     for k in ("error", "error_type", "traceback")
                 }
+            elif kind == "stopped":
+                self.stopped[doc["group_key"]] = dict(doc.get("data", {}))
             # Unknown kinds are skipped: forward compatibility.
+        if seen_content and not self._has_header:
+            # A non-empty file whose only content was a torn (trimmed)
+            # line still has no validatable header; refuse it too.
+            self._raise_headerless()
+
+    def _raise_headerless(self) -> None:
+        # A non-empty file with no leading header (torn first write, or
+        # not a checkpoint at all) cannot be seed/version-validated, and
+        # open() never rewrites headers — appending to it would grow an
+        # unvalidatable file, so refuse it outright.
+        raise CheckpointMismatchError(
+            f"{self.path}: non-empty checkpoint has no header line — "
+            f"the file was torn at creation or is not a study "
+            f"checkpoint; root_seed/version cannot be validated, use "
+            f"a fresh checkpoint path"
+        )
 
     def _check_header(self, doc: dict) -> None:
         version = doc.get("version")
@@ -133,6 +181,10 @@ class StudyCheckpoint:
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             fresh = not self.path.exists() or self.path.stat().st_size == 0
+            if self._trim_to is not None and not fresh:
+                with self.path.open("r+b") as trim:
+                    trim.truncate(self._trim_to)
+                self._trim_to = None
             self._fh = self.path.open("a")
             if fresh and not self._has_header:
                 self._write_line(
@@ -179,6 +231,19 @@ class StudyCheckpoint:
             "error_type": error_type,
             "traceback": traceback,
         }
+
+    def record_stop(self, group_key: str, data: dict) -> None:
+        """Record one replication group's adaptive stopping decision.
+
+        ``data`` is the JSON-serializable decision record (replication
+        count, reason, look index, halfwidth, per-look history) that
+        :func:`~repro.experiments.study.run_study` replays bit-identically
+        on resume.
+        """
+        self._write_line(
+            {"kind": "stopped", "group_key": group_key, "data": dict(data)}
+        )
+        self.stopped[group_key] = dict(data)
 
     def close(self) -> None:
         if self._fh is not None:

@@ -20,6 +20,7 @@ architecture lists.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -34,13 +35,14 @@ from ..gpu.landscape import (
 )
 from ..gpu.noise import DEFAULT_NOISE, NoiseModel
 from ..kernels import PAPER_KERNEL_NAMES, get_kernel
-from ..obs import MetricsRegistry, global_registry
+from ..obs import NULL_TRACER, MetricsRegistry, global_registry, tracer_for_dir
 from ..parallel import ParallelMap, RngFactory, TaskOutcome
 from ..search import PAPER_ALGORITHM_NAMES, make_tuner
 from ..search.base import DatasetTuner
+from ..stats.bootstrap import bootstrap_halfwidth
 from .checkpoint import StudyCheckpoint
 from .dataset import PrecollectedDataset, collect_dataset
-from .design import ExperimentDesign
+from .design import AdaptiveConfig, ExperimentDesign
 from .optimum import find_true_optimum
 from .results import StudyResults
 from .runner import (
@@ -172,6 +174,43 @@ def _compute_optima(
     return out
 
 
+def _task_for(
+    config: StudyConfig,
+    datasets: Dict[Tuple[str, str], PrecollectedDataset],
+    alg: str,
+    needs_data: bool,
+    kname: str,
+    aname: str,
+    size: int,
+    exp: int,
+    trace_dir: Optional[str] = None,
+    landscape_cache: Optional[str] = None,
+) -> ExperimentTask:
+    """One cell's :class:`ExperimentTask`, dataset slice attached."""
+    flats = runtimes = None
+    if needs_data:
+        sl = datasets[(kname, aname)].slice_for(size, exp)
+        flats = tuple(int(f) for f in sl.flats)
+        runtimes = tuple(float(r) for r in sl.runtimes_ms)
+    return ExperimentTask(
+        algorithm=alg,
+        kernel=kname,
+        arch=aname,
+        sample_size=size,
+        experiment=exp,
+        root_seed=config.root_seed,
+        image_x=config.image_x,
+        image_y=config.image_y,
+        final_repeats=config.final_repeats,
+        noise=config.noise,
+        dataset_flats=flats,
+        dataset_runtimes=runtimes,
+        tuner_kwargs=config.overrides_for(alg),
+        trace_dir=trace_dir,
+        landscape_cache=landscape_cache,
+    )
+
+
 def build_tasks(
     config: StudyConfig,
     datasets: Dict[Tuple[str, str], PrecollectedDataset],
@@ -188,33 +227,341 @@ def build_tasks(
                 for size in config.design.sample_sizes:
                     n_exp = config.design.experiments_for(size)
                     for exp in range(n_exp):
-                        flats = runtimes = None
-                        if needs_data:
-                            sl = datasets[(kname, aname)].slice_for(size, exp)
-                            flats = tuple(int(f) for f in sl.flats)
-                            runtimes = tuple(
-                                float(r) for r in sl.runtimes_ms
-                            )
                         tasks.append(
-                            ExperimentTask(
-                                algorithm=alg,
-                                kernel=kname,
-                                arch=aname,
-                                sample_size=size,
-                                experiment=exp,
-                                root_seed=config.root_seed,
-                                image_x=config.image_x,
-                                image_y=config.image_y,
-                                final_repeats=config.final_repeats,
-                                noise=config.noise,
-                                dataset_flats=flats,
-                                dataset_runtimes=runtimes,
-                                tuner_kwargs=config.overrides_for(alg),
+                            _task_for(
+                                config, datasets, alg, needs_data,
+                                kname, aname, size, exp,
                                 trace_dir=trace_dir,
                                 landscape_cache=landscape_cache,
                             )
                         )
     return tasks
+
+
+@dataclass
+class _AdaptiveGroup:
+    """Mutable state of one replication group in the adaptive loop.
+
+    A group is every replication of one ``(algorithm, kernel, arch,
+    sample_size)`` study cell; its key is the cell key without the
+    experiment index.
+    """
+
+    algorithm: str
+    kernel: str
+    arch: str
+    sample_size: int
+    needs_data: bool
+    #: Cumulative replication counts at each look (ends at the ceiling).
+    schedule: List[int]
+    #: The fixed design's replication count (savings baseline).
+    budget: int
+    dispatched: int = 0
+    look: int = 0
+    stopped: bool = False
+    reason: Optional[str] = None
+    halfwidth: Optional[float] = None
+    looks: List[dict] = field(default_factory=list)
+    #: Replication count from a checkpointed stop decision, replayed
+    #: instead of re-derived on resume.
+    replay_target: Optional[int] = None
+
+    @property
+    def key(self) -> str:
+        return (
+            f"{self.algorithm}/{self.kernel}/{self.arch}/{self.sample_size}"
+        )
+
+    @property
+    def ceiling(self) -> int:
+        return self.schedule[-1]
+
+    def next_target(self) -> int:
+        """Cumulative replication count to grow to this round."""
+        if self.replay_target is not None:
+            return self.replay_target
+        for n in self.schedule:
+            if n > self.dispatched:
+                return n
+        return self.ceiling
+
+    def record(self) -> dict:
+        """JSON-serializable stop-decision record (checkpoint/metadata)."""
+        return {
+            "replications": self.dispatched,
+            "budget": self.budget,
+            "reason": self.reason,
+            "look": self.look,
+            "halfwidth": self.halfwidth,
+            "looks": [dict(entry) for entry in self.looks],
+        }
+
+
+def _run_adaptive(
+    config: StudyConfig,
+    adaptive: AdaptiveConfig,
+    datasets: Dict[Tuple[str, str], PrecollectedDataset],
+    optima: Dict[Tuple[str, str], float],
+    pool: ParallelMap,
+    ckpt: Optional[StudyCheckpoint],
+    telemetry: StudyTelemetry,
+    registry: MetricsRegistry,
+    trace_dir: Optional[str],
+    landscape_cache: Optional[str],
+    batch_replications: bool,
+) -> Tuple[List[object], List[dict], dict, int, int]:
+    """The adaptive sequential-replication loop.
+
+    Grows every replication group in rounds through the same pool
+    machinery as the fixed path; after each round, each still-active
+    group takes a *look*: an anytime-valid bootstrap CI on its median
+    percent-of-optimum at the alpha-spending-corrected per-look
+    confidence.  Groups stop at the CI target or at their ceiling.
+
+    Determinism: each look's bootstrap RNG is a stream derived from the
+    (group key, look index) pair — never from execution order, worker
+    count, or wall clock — and the percent vector is assembled in
+    experiment order.  On resume, checkpointed stop decisions are
+    replayed verbatim rather than re-derived.
+
+    Returns ``(results, failed_cells, adaptive_metadata, total_cells,
+    resumed_cells)``.
+    """
+    rngs = RngFactory(config.root_seed)
+    tracer = tracer_for_dir(trace_dir) if trace_dir else NULL_TRACER
+    needs_data = {
+        alg: isinstance(
+            make_tuner(alg, **dict(config.overrides_for(alg))), DatasetTuner
+        )
+        for alg in config.algorithms
+    }
+
+    groups: List[_AdaptiveGroup] = []
+    for alg in config.algorithms:
+        for kname in config.kernels:
+            for aname in config.archs:
+                for size in config.design.sample_sizes:
+                    group = _AdaptiveGroup(
+                        algorithm=alg,
+                        kernel=kname,
+                        arch=aname,
+                        sample_size=size,
+                        needs_data=needs_data[alg],
+                        schedule=adaptive.replication_schedule(
+                            config.design, size
+                        ),
+                        budget=config.design.experiments_for(size),
+                    )
+                    rec = (
+                        ckpt.stopped.get(group.key)
+                        if ckpt is not None
+                        else None
+                    )
+                    if rec is not None:
+                        group.replay_target = int(rec["replications"])
+                        group.reason = rec.get("reason")
+                        group.halfwidth = rec.get("halfwidth")
+                        group.look = int(rec.get("look", 0))
+                        group.looks = [
+                            dict(entry) for entry in rec.get("looks", [])
+                        ]
+                    groups.append(group)
+    replayed = sum(1 for g in groups if g.replay_target is not None)
+
+    done = dict(ckpt.completed) if ckpt is not None else {}
+    results_by_key: Dict[str, object] = {}
+    failed_by_key: Dict[str, dict] = {}
+    resumed = 0
+
+    telemetry.start_tasks(0, skipped=0)
+    telemetry.line(
+        f"adaptive replication: {len(groups)} groups, "
+        + adaptive.describe()
+        + (
+            f", {replayed} stop decisions replayed from checkpoint"
+            if replayed
+            else ""
+        )
+    )
+
+    def on_outcome(outcome: TaskOutcome) -> None:
+        telemetry.task_finished(outcome.ok)
+        if ckpt is not None:
+            if outcome.ok:
+                ckpt.record_result(outcome.task.cell_key, outcome.result)
+            else:
+                ckpt.record_failure(
+                    outcome.task.cell_key,
+                    error=repr(outcome.error),
+                    error_type=outcome.error_type,
+                    traceback=outcome.traceback,
+                )
+
+    def count_stop(group: _AdaptiveGroup) -> None:
+        telemetry.group_stopped(group.budget - group.dispatched)
+        registry.counter(
+            "adaptive_groups_stopped_total",
+            "Adaptive replication groups stopped, by stop reason.",
+            reason=str(group.reason),
+        ).inc()
+
+    def stop(group: _AdaptiveGroup, reason: str, halfwidth: float) -> None:
+        group.stopped = True
+        group.reason = reason
+        group.halfwidth = (
+            float(halfwidth) if math.isfinite(halfwidth) else None
+        )
+        count_stop(group)
+        if ckpt is not None:
+            ckpt.record_stop(group.key, group.record())
+        if tracer.enabled:
+            fields = dict(
+                cell=group.key,
+                reason=reason,
+                replications=group.dispatched,
+                budget=group.budget,
+                look=group.look,
+            )
+            if group.halfwidth is not None:
+                fields["halfwidth"] = group.halfwidth
+            tracer.event("adaptive_stop", **fields)
+
+    while True:
+        active = [g for g in groups if not g.stopped]
+        if not active:
+            break
+        pending: List[ExperimentTask] = []
+        for group in active:
+            target = group.next_target()
+            for exp in range(group.dispatched, target):
+                task = _task_for(
+                    config, datasets, group.algorithm, group.needs_data,
+                    group.kernel, group.arch, group.sample_size, exp,
+                    trace_dir=trace_dir, landscape_cache=landscape_cache,
+                )
+                if task.cell_key in done:
+                    results_by_key[task.cell_key] = done[task.cell_key]
+                    resumed += 1
+                    telemetry.add_skipped(1)
+                else:
+                    pending.append(task)
+            group.dispatched = target
+        if pending:
+            telemetry.add_tasks(len(pending))
+            if batch_replications:
+                outcomes = pool.run_grouped(
+                    run_experiment,
+                    run_experiment_batch,
+                    pending,
+                    group_key=batch_group_key,
+                    on_outcome=on_outcome,
+                )
+            else:
+                outcomes = pool.run(
+                    run_experiment, pending, on_outcome=on_outcome
+                )
+            for outcome in outcomes:
+                if outcome.ok:
+                    results_by_key[outcome.task.cell_key] = outcome.result
+                else:
+                    failed_by_key[outcome.task.cell_key] = {
+                        "cell_key": outcome.task.cell_key,
+                        "error": repr(outcome.error),
+                        "error_type": outcome.error_type,
+                        "traceback": outcome.traceback,
+                        "attempts": outcome.attempts,
+                    }
+        for group in active:
+            if group.replay_target is not None:
+                # Stop decision made (and checkpointed) by the interrupted
+                # run; replay it rather than re-deriving.
+                group.stopped = True
+                count_stop(group)
+                continue
+            group.look += 1
+            confidence = adaptive.confidence_at_look(group.look)
+            optimum = optima[(group.kernel, group.arch)]
+            percents = [
+                100.0 * optimum / result.final_runtime_ms
+                for result in (
+                    results_by_key.get(f"{group.key}/{exp}")
+                    for exp in range(group.dispatched)
+                )
+                if result is not None
+            ]
+            halfwidth = (
+                bootstrap_halfwidth(
+                    percents,
+                    statistic=np.median,
+                    confidence=confidence,
+                    n_resamples=adaptive.n_resamples,
+                    rng=rngs.stream_for(
+                        f"adaptive/{group.key}/look/{group.look}"
+                    ),
+                )
+                if len(percents) >= 2
+                else math.inf
+            )
+            group.looks.append(
+                {
+                    "look": group.look,
+                    "replications": group.dispatched,
+                    "confidence": confidence,
+                    "halfwidth": (
+                        float(halfwidth)
+                        if math.isfinite(halfwidth)
+                        else None
+                    ),
+                }
+            )
+            if halfwidth <= adaptive.ci_target:
+                stop(group, "ci_target", halfwidth)
+            elif group.dispatched >= group.ceiling:
+                stop(group, "ceiling", halfwidth)
+
+    executed = sum(g.dispatched for g in groups)
+    budget_total = sum(g.budget for g in groups)
+    saved = budget_total - executed
+    registry.counter(
+        "adaptive_replications_executed_total",
+        "Replications actually run (or resumed) under adaptive stopping.",
+    ).inc(float(executed))
+    registry.counter(
+        "adaptive_replications_saved_total",
+        "Replications the fixed design would have run but adaptive "
+        "stopping skipped.",
+    ).inc(float(saved))
+    telemetry.line(
+        f"adaptive replication: {executed}/{budget_total} replications "
+        f"({saved} saved)"
+    )
+
+    results: List[object] = []
+    failed_cells: List[dict] = []
+    for group in groups:
+        for exp in range(group.dispatched):
+            cell_key = f"{group.key}/{exp}"
+            if cell_key in results_by_key:
+                results.append(results_by_key[cell_key])
+            elif cell_key in failed_by_key:
+                failed_cells.append(failed_by_key[cell_key])
+
+    meta = {
+        "config": {
+            "ci_target": adaptive.ci_target,
+            "confidence": adaptive.confidence,
+            "batch_size": adaptive.batch_size,
+            "min_replications": adaptive.min_replications,
+            "max_replications": adaptive.max_replications,
+            "n_resamples": adaptive.n_resamples,
+        },
+        "groups": {g.key: g.record() for g in groups},
+        "replications_executed": executed,
+        "replications_saved": saved,
+        "replications_budget": budget_total,
+        "groups_replayed": replayed,
+    }
+    return results, failed_cells, meta, executed, resumed
 
 
 def run_study(
@@ -228,6 +575,7 @@ def run_study(
     metrics: Optional[MetricsRegistry] = None,
     landscape_cache: Optional[object] = None,
     batch_replications: bool = False,
+    adaptive: Optional[AdaptiveConfig] = None,
 ) -> StudyResults:
     """Run the full study described by ``config``.
 
@@ -288,8 +636,26 @@ def run_study(
         telemetry behave exactly as in the per-task path, and results
         are bit-identical — each replication keeps its own
         cell-key-derived RNG streams.  Off by default.
+    adaptive:
+        An :class:`~repro.experiments.design.AdaptiveConfig` switches
+        replication from the fixed design to sequential stopping: each
+        ``(algorithm, kernel, arch, sample_size)`` group grows in
+        batches and stops as soon as an anytime-valid
+        (alpha-spending-corrected) bootstrap CI on its median
+        percent-of-optimum reaches the configured halfwidth target — or
+        at its replication ceiling.  Requires ``compute_optima=True``.
+        Stop decisions are written to the checkpoint (``"stopped"``
+        lines) and replayed verbatim on resume, so a resumed adaptive
+        study is bit-identical to an uninterrupted one.  ``None``
+        (default) runs the fixed design unchanged.
     """
     config.validate()
+    if adaptive is not None and not compute_optima:
+        raise ValueError(
+            "adaptive replication requires compute_optima=True — the "
+            "stopping rule is a CI on percent-of-optimum, which needs "
+            "each landscape's true optimum"
+        )
     emit = print if progress is True else (progress or None)
     telemetry = StudyTelemetry(emit=emit if callable(emit) else None)
     registry = metrics if metrics is not None else MetricsRegistry()
@@ -330,13 +696,6 @@ def run_study(
             f"in {telemetry.phase_seconds['optima']:.1f}s"
         )
 
-    tasks = build_tasks(
-        config,
-        datasets,
-        trace_dir=str(trace_dir) if trace_dir is not None else None,
-        landscape_cache=cache_dir,
-    )
-
     ckpt: Optional[StudyCheckpoint] = None
     if checkpoint is not None:
         ckpt = (
@@ -344,71 +703,102 @@ def run_study(
             if isinstance(checkpoint, StudyCheckpoint)
             else StudyCheckpoint(checkpoint, root_seed=config.root_seed)
         )
-    done: Dict[str, object] = dict(ckpt.completed) if ckpt else {}
-    pending = [t for t in tasks if t.cell_key not in done]
-    telemetry.start_tasks(len(pending), skipped=len(tasks) - len(pending))
-    telemetry.line(
-        f"running {len(pending)} experiments "
-        f"on {config.workers or 'all'} workers"
-    )
-
-    def on_outcome(outcome: TaskOutcome) -> None:
-        telemetry.task_finished(outcome.ok)
-        if ckpt is not None:
-            if outcome.ok:
-                ckpt.record_result(outcome.task.cell_key, outcome.result)
-            else:
-                ckpt.record_failure(
-                    outcome.task.cell_key,
-                    error=repr(outcome.error),
-                    error_type=outcome.error_type,
-                    traceback=outcome.traceback,
-                )
-
     pool = ParallelMap(
         workers=config.workers,
         failure_policy=failure_policy,
         retries=retries,
         metrics=registry,
     )
-    try:
-        with telemetry.phase("experiments"):
-            if batch_replications:
-                outcomes = pool.run_grouped(
-                    run_experiment,
-                    run_experiment_batch,
-                    pending,
-                    group_key=batch_group_key,
-                    on_outcome=on_outcome,
-                )
-            else:
-                outcomes = pool.run(
-                    run_experiment, pending, on_outcome=on_outcome
-                )
-    finally:
-        if ckpt is not None:
-            ckpt.close()
+    trace_dir_str = str(trace_dir) if trace_dir is not None else None
 
-    by_key = {o.task.cell_key: o for o in outcomes}
-    results = []
-    failed_cells: List[dict] = []
-    for task in tasks:
-        if task.cell_key in done:
-            results.append(done[task.cell_key])
-            continue
-        outcome = by_key[task.cell_key]
-        if outcome.ok:
-            results.append(outcome.result)
-        else:
-            failed_cells.append(
-                {
-                    "cell_key": task.cell_key,
-                    "error": repr(outcome.error),
-                    "error_type": outcome.error_type,
-                    "traceback": outcome.traceback,
-                    "attempts": outcome.attempts,
-                }
-            )
+    adaptive_meta: Optional[dict] = None
+    if adaptive is not None:
+        try:
+            with telemetry.phase("experiments"):
+                (
+                    results,
+                    failed_cells,
+                    adaptive_meta,
+                    total_cells,
+                    resumed,
+                ) = _run_adaptive(
+                    config, adaptive, datasets, optima, pool, ckpt,
+                    telemetry, registry, trace_dir_str, cache_dir,
+                    batch_replications,
+                )
+        finally:
+            if ckpt is not None:
+                ckpt.close()
+    else:
+        tasks = build_tasks(
+            config,
+            datasets,
+            trace_dir=trace_dir_str,
+            landscape_cache=cache_dir,
+        )
+        done: Dict[str, object] = dict(ckpt.completed) if ckpt else {}
+        pending = [t for t in tasks if t.cell_key not in done]
+        telemetry.start_tasks(
+            len(pending), skipped=len(tasks) - len(pending)
+        )
+        telemetry.line(
+            f"running {len(pending)} experiments "
+            f"on {config.workers or 'all'} workers"
+        )
+
+        def on_outcome(outcome: TaskOutcome) -> None:
+            telemetry.task_finished(outcome.ok)
+            if ckpt is not None:
+                if outcome.ok:
+                    ckpt.record_result(outcome.task.cell_key, outcome.result)
+                else:
+                    ckpt.record_failure(
+                        outcome.task.cell_key,
+                        error=repr(outcome.error),
+                        error_type=outcome.error_type,
+                        traceback=outcome.traceback,
+                    )
+
+        try:
+            with telemetry.phase("experiments"):
+                if batch_replications:
+                    outcomes = pool.run_grouped(
+                        run_experiment,
+                        run_experiment_batch,
+                        pending,
+                        group_key=batch_group_key,
+                        on_outcome=on_outcome,
+                    )
+                else:
+                    outcomes = pool.run(
+                        run_experiment, pending, on_outcome=on_outcome
+                    )
+        finally:
+            if ckpt is not None:
+                ckpt.close()
+
+        by_key = {o.task.cell_key: o for o in outcomes}
+        results = []
+        failed_cells = []
+        for task in tasks:
+            if task.cell_key in done:
+                results.append(done[task.cell_key])
+                continue
+            outcome = by_key[task.cell_key]
+            if outcome.ok:
+                results.append(outcome.result)
+            else:
+                failed_cells.append(
+                    {
+                        "cell_key": task.cell_key,
+                        "error": repr(outcome.error),
+                        "error_type": outcome.error_type,
+                        "traceback": outcome.traceback,
+                        "attempts": outcome.attempts,
+                    }
+                )
+        total_cells = len(tasks)
+        resumed = len(tasks) - len(pending)
     if failed_cells:
         telemetry.line(
             f"{len(failed_cells)} cells failed: "
@@ -438,11 +828,12 @@ def run_study(
         "image": [config.image_x, config.image_y],
         "root_seed": config.root_seed,
         "final_repeats": config.final_repeats,
-        "total_experiments": len(tasks),
+        "total_experiments": total_cells,
         "failed_cells": failed_cells,
-        "resumed_from_checkpoint": len(tasks) - len(pending),
+        "resumed_from_checkpoint": resumed,
         "failure_policy": failure_policy,
         "batch_replications": batch_replications,
+        "adaptive": adaptive_meta,
         "telemetry": telemetry.snapshot(),
         "metrics": registry.to_json(),
         "trace_dir": str(trace_dir) if trace_dir is not None else None,

@@ -57,6 +57,9 @@ class StudyTelemetry:
         self.failed = 0
         self.skipped = 0
         self.total = 0
+        #: Adaptive-replication accounting (0 when adaptive mode is off).
+        self.groups_stopped = 0
+        self.replications_saved = 0
         self._tasks_started: Optional[float] = None
 
     # -- emission -------------------------------------------------------------
@@ -82,6 +85,25 @@ class StudyTelemetry:
                 f"checkpoint: {skipped} cells already complete, "
                 f"{total} to run"
             )
+
+    def add_tasks(self, n: int) -> None:
+        """Grow the experiment total mid-run.
+
+        Adaptive replication dispatches cells in rounds, so the final
+        task count is only known as stopping decisions accumulate; each
+        round's dispatch is added here instead of being fixed up front.
+        """
+        self.total += int(n)
+
+    def add_skipped(self, n: int) -> None:
+        """Count cells satisfied by a checkpoint during adaptive rounds."""
+        self.skipped += int(n)
+
+    def group_stopped(self, saved: int) -> None:
+        """Record one adaptive replication group's stopping decision and
+        the replications it saved versus the fixed design."""
+        self.groups_stopped += 1
+        self.replications_saved += max(0, int(saved))
 
     def task_finished(self, ok: bool) -> None:
         """Record one finished cell and emit a periodic progress line."""
@@ -135,6 +157,8 @@ class StudyTelemetry:
             "failed": self.failed,
             "skipped": self.skipped,
             "total": self.total,
+            "groups_stopped": self.groups_stopped,
+            "replications_saved": self.replications_saved,
             "elapsed_seconds": round(self.elapsed, 3),
             "throughput_per_s": round(self.throughput(), 3),
             "eta_seconds": round(eta, 3) if eta is not None else None,

@@ -103,6 +103,10 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
+        if math.isnan(value):
+            # A single NaN would poison `sum` forever (NaN + x = NaN),
+            # silently corrupting every later export.
+            raise ValueError("cannot observe NaN in a histogram")
         self.sum += value
         self.count += 1
         i = bisect_left(self.buckets, value)
@@ -190,6 +194,20 @@ class MetricsRegistry:
     ) -> _Family:
         fam = self._families.get(name)
         if fam is None:
+            if kind == "histogram":
+                # A histogram named X exports X_sum / X_count samples; a
+                # counter family already holding either name would make
+                # to_prometheus() emit duplicate sample names (invalid
+                # exposition format), so reject the collision loudly.
+                for suffix in ("_sum", "_count"):
+                    other = self._families.get(f"{name}{suffix}")
+                    if other is not None and other.kind != "histogram":
+                        raise ValueError(
+                            f"cannot register histogram {name!r}: "
+                            f"{name + suffix!r} already exists as a "
+                            f"{other.kind} and the exported sample names "
+                            f"would collide"
+                        )
             fam = _Family(name, kind, help, buckets)
             self._families[name] = fam
         elif fam.kind != kind:
@@ -305,9 +323,38 @@ class MetricsRegistry:
         return out
 
     def merge_flat(self, flat: Mapping[str, float], **labels) -> None:
-        """Add a :meth:`flat_counters` payload into this registry."""
+        """Add a :meth:`flat_counters` payload into this registry.
+
+        Histogram-derived ``<name>_sum`` / ``<name>_count`` entries merge
+        back into the ``<name>`` histogram family when this registry owns
+        one — registering them as counters instead would make
+        :meth:`to_prometheus` export duplicate sample names.  The flat
+        payload carries no bucket positions, so merged observations
+        surface only in the histogram's implicit ``+Inf`` bucket (its
+        ``count``), which the cumulative exposition format represents
+        exactly.  Entries with no histogram counterpart accumulate as
+        counters, as before.
+        """
+        key = _label_key(labels)
         for name, value in flat.items():
+            hist = self._histogram_for_flat(name, key)
+            if hist is not None:
+                if name.endswith("_sum"):
+                    hist.sum += float(value)
+                else:
+                    hist.count += int(value)
+                continue
             self.counter(name, **labels).inc(float(value))
+
+    def _histogram_for_flat(self, name: str, key: LabelKey):
+        """The histogram instrument a flat ``_sum``/``_count`` entry
+        belongs to, or ``None`` when no such family exists here."""
+        for suffix in ("_sum", "_count"):
+            if name.endswith(suffix):
+                fam = self._families.get(name[: -len(suffix)])
+                if fam is not None and fam.kind == "histogram":
+                    return fam.get(key)
+        return None
 
 
 #: Lazily-created process-wide registry for always-on instrumentation.

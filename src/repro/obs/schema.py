@@ -44,6 +44,11 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "propose": ("duration_s",),
     "tuner_end": ("samples_used", "best_ms"),
     "experiment_end": ("final_runtime_ms", "samples_used"),
+    # Adaptive-replication stopping decision for one replication group;
+    # its ``cell`` is the group key (no experiment index).  ``halfwidth``
+    # rides along as an optional extra field — it has no defined value
+    # when a group stops with too few successful replications for a CI.
+    "adaptive_stop": ("reason", "replications", "budget", "look"),
 }
 
 EVENT_KINDS = tuple(EVENT_FIELDS)
@@ -64,6 +69,9 @@ _FIELD_TYPES: Dict[str, tuple] = {
     "duration_s": (int, float),
     "samples_used": (int,),
     "final_runtime_ms": (int, float),
+    "reason": (str,),
+    "replications": (int,),
+    "look": (int,),
 }
 
 

@@ -160,9 +160,17 @@ def _run_one(
     backoff: float,
     backoff_cap: float,
     retryable: Tuple[Type[BaseException], ...],
+    prior_attempts: int = 0,
 ) -> TaskOutcome:
-    """Run one task, retrying transient failures with capped backoff."""
-    attempt = 0
+    """Run one task, retrying transient failures with capped backoff.
+
+    ``prior_attempts`` counts attempts already spent on this task before
+    this call (e.g. a wholesale-failed batch execution), so the reported
+    ``TaskOutcome.attempts`` — and the ``task_retries_total`` counter
+    derived from it — reflect every attempt, and prior attempts consume
+    the same retry budget they would have sequentially.
+    """
+    attempt = prior_attempts
     while True:
         attempt += 1
         try:
@@ -267,9 +275,12 @@ def _run_batch(
                 f"{len(batch)} tasks"
             )
     except Exception:  # noqa: BLE001 - engine failure, not task failure
+        # The batch execution counts as each task's first attempt, so the
+        # fallback runs report attempts >= 2 and retry metrics include
+        # the attempt the broken engine consumed.
         return [
             _run_one(fn, index, task, retries, backoff, backoff_cap,
-                     retryable)
+                     retryable, prior_attempts=1)
             for index, task in zip(indices, batch)
         ]
     outcomes: List[TaskOutcome] = []

@@ -1,6 +1,11 @@
 """Statistics: Mann-Whitney U, CLES, bootstrap CIs, pair comparisons."""
 
-from .bootstrap import BootstrapInterval, bootstrap_ci
+from .bootstrap import (
+    DEFAULT_BOOTSTRAP_SEED,
+    BootstrapInterval,
+    bootstrap_ci,
+    bootstrap_halfwidth,
+)
 from .cles import cles_greater, cles_smaller
 from .mannwhitney import (
     PAPER_ALPHA,
@@ -18,7 +23,9 @@ __all__ = [
     "cles_greater",
     "cles_smaller",
     "bootstrap_ci",
+    "bootstrap_halfwidth",
     "BootstrapInterval",
+    "DEFAULT_BOOTSTRAP_SEED",
     "compare_pair",
     "PairComparison",
     "median_speedup",

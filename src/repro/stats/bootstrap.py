@@ -4,16 +4,35 @@ Fig. 3 of the paper plots the mean percentage-of-optimum across all
 benchmark/architecture cells with a confidence interval.  Because the
 underlying populations are non-Gaussian (Section V-A), we use percentile
 bootstrap intervals rather than normal-theory ones.
+
+Resampling is **deterministic by default**: with ``rng=None`` a generator
+seeded with :data:`DEFAULT_BOOTSTRAP_SEED` is used, so CI-driven
+decisions — in particular the adaptive replication stopping rule in
+:mod:`repro.experiments.study` — replay identically across runs, resumes,
+and worker counts.  Pass an explicit generator (or an int seed) to thread
+your own stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
-__all__ = ["BootstrapInterval", "bootstrap_ci"]
+__all__ = [
+    "BootstrapInterval",
+    "bootstrap_ci",
+    "bootstrap_halfwidth",
+    "DEFAULT_BOOTSTRAP_SEED",
+]
+
+#: Seed of the generator built when ``rng`` is ``None``.  A fixed default
+#: keeps every resampling call reproducible without callers having to
+#: thread a stream through code that only wants "a CI".
+DEFAULT_BOOTSTRAP_SEED = 0x1D5EED
+
+RngLike = Union[None, int, np.integer, np.random.Generator]
 
 
 @dataclass(frozen=True)
@@ -30,21 +49,15 @@ class BootstrapInterval:
         return 0.5 * (self.high - self.low)
 
 
-def bootstrap_ci(
-    values: np.ndarray,
-    statistic: Callable[[np.ndarray], float] = np.mean,
-    confidence: float = 0.95,
-    n_resamples: int = 2000,
-    rng: Optional[np.random.Generator] = None,
-) -> BootstrapInterval:
-    """Percentile bootstrap CI of ``statistic`` over ``values``.
+def _resolve_rng(rng: RngLike) -> np.random.Generator:
+    if rng is None:
+        return np.random.default_rng(DEFAULT_BOOTSTRAP_SEED)
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    return rng
 
-    Resampling is vectorized: one ``(n_resamples, n)`` index draw, with
-    ``statistic`` applied along the resample axis when it supports an
-    ``axis`` keyword (NumPy reductions do), falling back to a loop for
-    arbitrary callables.
-    """
-    values = np.asarray(values, dtype=np.float64).ravel()
+
+def _validate(values: np.ndarray, confidence: float, n_resamples: int) -> None:
     if values.size == 0:
         raise ValueError("values must be non-empty")
     if not np.all(np.isfinite(values)):
@@ -53,17 +66,49 @@ def bootstrap_ci(
         raise ValueError("confidence must be in (0, 1)")
     if n_resamples < 1:
         raise ValueError("n_resamples must be >= 1")
-    rng = rng if rng is not None else np.random.default_rng()
 
-    estimate = float(statistic(values))
+
+def _resample_statistics(
+    values: np.ndarray,
+    statistic: Callable[[np.ndarray], float],
+    n_resamples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """The statistic over ``n_resamples`` bootstrap resamples.
+
+    One ``(n_resamples, n)`` index draw, with ``statistic`` applied along
+    the resample axis when it supports an ``axis`` keyword (NumPy
+    reductions do), falling back to a loop for arbitrary callables.
+    """
     idx = rng.integers(0, values.size, size=(n_resamples, values.size))
     resamples = values[idx]
     try:
-        stats = np.asarray(statistic(resamples, axis=1), dtype=np.float64)
+        return np.asarray(statistic(resamples, axis=1), dtype=np.float64)
     except TypeError:
-        stats = np.array(
+        return np.array(
             [statistic(row) for row in resamples], dtype=np.float64
         )
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: RngLike = None,
+) -> BootstrapInterval:
+    """Percentile bootstrap CI of ``statistic`` over ``values``.
+
+    ``rng`` may be a :class:`numpy.random.Generator`, an int seed, or
+    ``None`` for the deterministic default stream
+    (:data:`DEFAULT_BOOTSTRAP_SEED`).
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    _validate(values, confidence, n_resamples)
+    rng = _resolve_rng(rng)
+
+    estimate = float(statistic(values))
+    stats = _resample_statistics(values, statistic, n_resamples, rng)
     alpha = 1.0 - confidence
     low, high = np.quantile(stats, [alpha / 2.0, 1.0 - alpha / 2.0])
     return BootstrapInterval(
@@ -72,3 +117,29 @@ def bootstrap_ci(
         high=float(high),
         confidence=confidence,
     )
+
+
+def bootstrap_halfwidth(
+    values: np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: RngLike = None,
+) -> float:
+    """Halfwidth of the percentile-bootstrap CI alone.
+
+    The adaptive replication stopping rule evaluates only the interval
+    width, not the point estimate — this path skips the estimate and
+    builds no interval object: one vectorized resample pass and a single
+    two-quantile call.  Consumes the same RNG draws as
+    :func:`bootstrap_ci`, so both report the same interval for the same
+    stream state.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    _validate(values, confidence, n_resamples)
+    stats = _resample_statistics(
+        values, statistic, n_resamples, _resolve_rng(rng)
+    )
+    alpha = 1.0 - confidence
+    low, high = np.quantile(stats, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return float(0.5 * (high - low))

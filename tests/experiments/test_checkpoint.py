@@ -70,6 +70,38 @@ class TestCorruptionHandling:
         assert "a" in reloaded
         assert "b" not in reloaded  # torn row dropped, will be re-run
 
+    def test_torn_tail_trimmed_before_append(self, tmp_path):
+        # Resuming over a torn file must not glue the new line onto the
+        # fragment — that would corrupt the file for every later resume.
+        path = tmp_path / "ckpt.jsonl"
+        with StudyCheckpoint(path, root_seed=42) as ckpt:
+            ckpt.record_result("a", make_result(0))
+            ckpt.record_result("b", make_result(1))
+        text = path.read_text()
+        path.write_text(text[: len(text) - 25])  # tear the last line
+        with StudyCheckpoint(path, root_seed=42) as ckpt:
+            assert "b" not in ckpt
+            ckpt.record_result("b", make_result(1))  # the re-run
+        # Every line parses, and a third session sees both cells.
+        for line in path.read_text().splitlines():
+            json.loads(line)
+        reloaded = StudyCheckpoint(path, root_seed=42)
+        assert "a" in reloaded and "b" in reloaded
+        assert len(reloaded) == 2
+
+    def test_torn_tail_with_newline_trimmed(self, tmp_path):
+        # An invalid final line that *does* end in a newline is dropped
+        # too; trimming must remove the newline along with it.
+        path = tmp_path / "ckpt.jsonl"
+        with StudyCheckpoint(path, root_seed=42) as ckpt:
+            ckpt.record_result("a", make_result(0))
+        path.write_text(path.read_text() + '{"kind": "res\n')
+        with StudyCheckpoint(path, root_seed=42) as ckpt:
+            ckpt.record_result("b", make_result(1))
+        for line in path.read_text().splitlines():
+            json.loads(line)
+        assert len(StudyCheckpoint(path, root_seed=42)) == 2
+
     def test_mid_file_garbage_rejected(self, tmp_path):
         path = tmp_path / "ckpt.jsonl"
         with StudyCheckpoint(path, root_seed=42) as ckpt:
@@ -110,3 +142,69 @@ class TestHeaderValidation:
         with path.open("a") as fh:
             fh.write(json.dumps({"kind": "future_extension", "x": 1}) + "\n")
         assert "a" in StudyCheckpoint(path, root_seed=42)
+
+
+class TestHeaderlessRejection:
+    def test_headerless_nonempty_file_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        path.write_text(
+            json.dumps({"kind": "failure", "cell_key": "a", "error": "x"})
+            + "\n"
+        )
+        with pytest.raises(CheckpointMismatchError, match="no header"):
+            StudyCheckpoint(path, root_seed=42)
+
+    def test_torn_first_write_rejected(self, tmp_path):
+        # A writer killed during its very first line leaves a non-empty
+        # file whose only line is torn.  After torn-line trimming the
+        # file parses to nothing — but it must still be rejected, because
+        # its seed/version can never be validated.
+        path = tmp_path / "ckpt.jsonl"
+        path.write_text('{"kind": "header", "vers')
+        with pytest.raises(CheckpointMismatchError, match="no header"):
+            StudyCheckpoint(path, root_seed=42)
+
+    def test_empty_file_still_fine(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        path.write_text("")
+        with StudyCheckpoint(path, root_seed=42) as ckpt:
+            ckpt.record_result("a", make_result(0))
+        assert "a" in StudyCheckpoint(path, root_seed=42)
+
+    def test_whitespace_only_file_still_fine(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        path.write_text("\n\n")
+        assert len(StudyCheckpoint(path, root_seed=42)) == 0
+
+
+class TestStoppedLines:
+    def test_stop_decisions_round_trip(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        record = {
+            "replications": 12,
+            "budget": 32,
+            "reason": "ci_target",
+            "look": 2,
+            "halfwidth": 0.75,
+            "looks": [
+                {"look": 1, "replications": 8, "halfwidth": 1.5},
+                {"look": 2, "replications": 12, "halfwidth": 0.75},
+            ],
+        }
+        with StudyCheckpoint(path, root_seed=42) as ckpt:
+            ckpt.record_result("rs/add/titan_v/25/0", make_result(0))
+            ckpt.record_stop("rs/add/titan_v/25", record)
+        reloaded = StudyCheckpoint(path, root_seed=42)
+        assert reloaded.stopped == {"rs/add/titan_v/25": record}
+        # Stop lines never count as completed cells.
+        assert len(reloaded) == 1
+
+    def test_record_stop_copies_its_input(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        record = {"replications": 8, "reason": "ceiling"}
+        with StudyCheckpoint(path, root_seed=42) as ckpt:
+            ckpt.record_stop("g", record)
+            record["replications"] = 999
+        assert StudyCheckpoint(path, root_seed=42).stopped["g"][
+            "replications"
+        ] == 8

@@ -140,3 +140,80 @@ class TestGlobalRegistry:
         assert global_registry() is a
         reset_global_registry()
         assert global_registry() is not a
+
+
+class TestHistogramNaNGuard:
+    def test_observe_nan_rejected(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        h.observe(0.5)
+        with pytest.raises(ValueError, match="NaN"):
+            h.observe(float("nan"))
+        # The poisoning observation left no trace.
+        assert h.sum == 0.5
+        assert h.count == 1
+
+
+class TestMergeFlatHistograms:
+    def test_flat_entries_merge_into_histogram_family(self):
+        worker = MetricsRegistry()
+        worker.histogram("fit_seconds").observe(0.25)
+        worker.histogram("fit_seconds").observe(0.75)
+        worker.counter("evals_total").inc(5)
+
+        parent = MetricsRegistry()
+        parent.histogram("fit_seconds").observe(0.5)
+        parent.merge_flat(worker.flat_counters())
+
+        h = parent.histogram("fit_seconds")
+        assert h.sum == pytest.approx(1.5)
+        assert h.count == 3
+        assert parent.counter("evals_total").value == 5.0
+        # No counter families shadowing the histogram's sample names.
+        doc = parent.to_json()
+        assert "fit_seconds_sum" not in doc
+        assert "fit_seconds_count" not in doc
+
+    def test_no_duplicate_prometheus_sample_names(self):
+        worker = MetricsRegistry()
+        worker.histogram("fit_seconds").observe(0.25)
+
+        parent = MetricsRegistry()
+        parent.histogram("fit_seconds").observe(0.5)
+        parent.merge_flat(worker.flat_counters())
+        text = parent.to_prometheus()
+        # Each (sample name, label set) appears exactly once — before the
+        # fix, merge_flat registered fit_seconds_sum / fit_seconds_count
+        # counters next to the histogram's samples of the same names.
+        series = [
+            line.rsplit(" ", 1)[0]
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(series) == len(set(series))
+        assert "fit_seconds_sum" in text
+        assert "# TYPE fit_seconds_sum counter" not in text
+
+    def test_merge_without_histogram_still_counts(self):
+        # A registry with no histogram family keeps the old behavior:
+        # flat _sum/_count entries accumulate as counters.
+        parent = MetricsRegistry()
+        parent.merge_flat({"fit_seconds_sum": 0.5, "fit_seconds_count": 2.0})
+        assert parent.counter("fit_seconds_sum").value == 0.5
+        assert parent.counter("fit_seconds_count").value == 2.0
+
+    def test_histogram_registration_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("lat_sum").inc()
+        with pytest.raises(ValueError, match="collide"):
+            reg.histogram("lat")
+
+    def test_merged_count_lands_in_inf_bucket(self):
+        worker = MetricsRegistry()
+        worker.histogram("lat").observe(0.25)
+        parent = MetricsRegistry()
+        parent.histogram("lat")  # family exists, no observations
+        parent.merge_flat(worker.flat_counters())
+        text = parent.to_prometheus()
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text

@@ -254,3 +254,52 @@ class TestRunBatchUnit:
         assert [o.index for o in outcomes] == [10, 11, 12]
         assert [o.task for o in outcomes] == [5, 3, 9]
         assert [o.ok for o in outcomes] == [True, False, True]
+
+
+class TestWholesaleFallbackAccounting:
+    def test_fallback_counts_the_batch_attempt(self):
+        # A wholesale batch explosion consumes one attempt per task; the
+        # per-task fallback must report it (attempts >= 2), not restart
+        # the count at 1.
+        pool = ParallelMap(workers=1)
+        outcomes = pool.run_grouped(
+            square, exploding_batch, [2, 3, 4], lambda t: 0
+        )
+        assert [o.result for o in outcomes] == [4, 9, 16]
+        assert [o.attempts for o in outcomes] == [2, 2, 2]
+
+    def test_fallback_attempts_feed_retry_metrics(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        pool = ParallelMap(workers=1, metrics=registry)
+        pool.run_grouped(square, exploding_batch, [2, 3, 4], lambda t: 0)
+        # One extra (batch) attempt per task lands in the counter.
+        assert registry.counter("task_retries_total").value == 3.0
+
+    def test_wrong_arity_fallback_also_counted(self):
+        pool = ParallelMap(workers=1)
+        outcomes = pool.run_grouped(
+            square, wrong_arity_batch, [2, 3, 4], lambda t: 0
+        )
+        assert [o.attempts for o in outcomes] == [2, 2, 2]
+
+    def test_fallback_attempts_consume_retry_budget(self):
+        # With retries=1, the wholesale batch attempt plus one fallback
+        # attempt exhaust the budget: a transient per-task failure after
+        # a broken batch is NOT retried again.
+        calls = []
+
+        def transient_once(task):
+            calls.append(task)
+            raise TransientError("still warming up")
+
+        pool = ParallelMap(
+            workers=1, failure_policy="collect", retries=1, backoff=0.0
+        )
+        (outcome,) = pool.run_grouped(
+            transient_once, exploding_batch, [7], lambda t: 0
+        )
+        assert not outcome.ok
+        assert outcome.attempts == 2  # batch + one per-task attempt
+        assert calls == [7]
