@@ -149,6 +149,45 @@ def build_parser() -> argparse.ArgumentParser:
              "`python -m repro.obs.read DIR --validate --cells`)",
     )
     parser.add_argument(
+        "--trace-level", choices=["events", "spans", "full"],
+        default="events",
+        help="what --trace-dir records: trajectory events (default), "
+             "hierarchical spans (study/phase/worker/group/cell; view "
+             "with `python -m repro.obs.read DIR --spans`), or both",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="sample wall/CPU/RSS per study phase and print a "
+             "flamegraph-style profile report to stderr at the end",
+    )
+    parser.add_argument(
+        "--profile-out", metavar="PATH",
+        help="also write the profile: JSON when PATH ends in .json, "
+             "flamegraph SVG when it ends in .svg (needs span events "
+             "from --trace-level spans/full), text otherwise",
+    )
+    parser.add_argument(
+        "--run-ledger", metavar="DIR",
+        help="record this run's provenance manifest (config, "
+             "fingerprints, git rev, telemetry, headline numbers) into "
+             "the content-addressed ledger at DIR; inspect and compare "
+             "with `repro-runs list/show/diff DIR`",
+    )
+    parser.add_argument(
+        "--watch", action="store_true",
+        help="monitor an in-flight study instead of running one: tail "
+             "its --checkpoint and/or --trace-dir files read-only and "
+             "print progress/ETA/stop decisions until it completes",
+    )
+    parser.add_argument(
+        "--watch-interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll interval for --watch (default 2s)",
+    )
+    parser.add_argument(
+        "--watch-polls", type=int, default=None, metavar="N",
+        help="stop --watch after N polls (default: until complete)",
+    )
+    parser.add_argument(
         "--landscape-cache", metavar="DIR",
         help="directory for memory-mapped landscape tables: one full "
              "noise-free simulator pass per (kernel, arch), cached on "
@@ -182,6 +221,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     def status(message: str) -> None:
         if not args.quiet:
             print(message, file=sys.stderr)
+
+    if args.watch:
+        if not args.checkpoint and not args.trace_dir:
+            print(
+                "error: --watch needs --checkpoint and/or --trace-dir "
+                "pointing at the in-flight study's files",
+                file=sys.stderr,
+            )
+            return 2
+        from .obs import watch_study
+
+        return watch_study(
+            checkpoint=args.checkpoint,
+            trace_dir=args.trace_dir,
+            interval=args.watch_interval,
+            max_polls=args.watch_polls,
+        )
 
     if args.paper_scale:
         design = ExperimentDesign()
@@ -224,6 +280,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             landscape_cache=args.landscape_cache,
             batch_replications=args.batch_replications,
             adaptive=adaptive,
+            trace_level=args.trace_level,
+            profile=args.profile or bool(args.profile_out),
+            run_ledger=args.run_ledger,
+            run_argv=list(argv) if argv is not None else sys.argv[1:],
         )
     except TaskError as err:
         cell = getattr(err.task, "cell_key", repr(err.task))
@@ -238,10 +298,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         return 1
 
+    exit_code = 0
     if results.failed_cells:
-        status(f"WARNING: {len(results.failed_cells)} cells failed:")
+        # Partial failure under --failure-policy collect must be visible
+        # to CI wrappers: the summary prints regardless of --quiet and
+        # the process exits non-zero (3 = completed with failed cells).
+        exit_code = 3
+        print(
+            f"FAILED CELLS: {len(results.failed_cells)} of "
+            f"{results.metadata.get('total_experiments', '?')} cells "
+            f"failed:",
+            file=sys.stderr,
+        )
         for cell in results.failed_cells:
-            status(f"  {cell['cell_key']}: {cell['error']}")
+            print(
+                f"  {cell['cell_key']}: [{cell.get('error_type', '')}] "
+                f"{cell['error']} (attempts: {cell.get('attempts', 1)})",
+                file=sys.stderr,
+            )
 
     adaptive_meta = results.metadata.get("adaptive")
     if adaptive_meta:
@@ -278,6 +352,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         status(
             f"trace JSONL in {args.trace_dir} "
             f"(read with `python -m repro.obs.read {args.trace_dir}`)"
+        )
+
+    profile_snapshot = results.metadata.get("profile")
+    if args.profile and profile_snapshot:
+        from .obs import render_profile
+
+        print(render_profile(profile_snapshot), file=sys.stderr)
+    if args.profile_out and profile_snapshot:
+        import json as _json
+
+        from .obs import render_profile
+
+        out = Path(args.profile_out)
+        if out.parent and not out.parent.exists():
+            out.parent.mkdir(parents=True, exist_ok=True)
+        if out.suffix == ".json":
+            out.write_text(
+                _json.dumps(profile_snapshot, indent=2, sort_keys=True)
+                + "\n"
+            )
+        elif out.suffix == ".svg":
+            from .obs import build_span_forest
+            from .obs.read import iter_trace_events
+            from .reporting import flame_svg
+
+            events = (
+                list(iter_trace_events([Path(args.trace_dir)]))
+                if args.trace_dir
+                else []
+            )
+            out.write_text(flame_svg(build_span_forest(events)))
+        else:
+            out.write_text(render_profile(profile_snapshot) + "\n")
+        status(f"wrote profile to {out}")
+    if results.metadata.get("run_id"):
+        status(
+            f"run {results.metadata['run_id']} recorded in "
+            f"{args.run_ledger} (compare with `repro-runs diff "
+            f"{args.run_ledger} <old> {results.metadata['run_id']}`)"
         )
 
     if not args.no_figures:
@@ -318,7 +431,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             path.write_text(lineplot_svg(plot))
             written.append(path)
         status(f"wrote {len(written)} SVG files to {args.svg_dir}")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,6 +16,7 @@ worker count never enter the results.
 File format (one JSON object per line)::
 
     {"kind": "header", "version": 1, "root_seed": 20220530}
+    {"kind": "plan", "data": {"total_cells": 90}}
     {"kind": "result", "cell_key": "rs/add/titan_v/25/0", "data": {...}}
     {"kind": "failure", "cell_key": "...", "error": "...", "error_type":
      "...", "traceback": "..."}
@@ -24,6 +25,12 @@ File format (one JSON object per line)::
 * The header guards against resuming with a mismatched study seed.  A
   non-empty file with no header line (e.g. a torn first write) is
   rejected outright — its seed and version cannot be validated.
+* The optional ``plan`` line records the study's planned shape (total
+  cell count for a fixed design, replication budget for adaptive) so a
+  read-only watcher (``repro-study --watch``) can compute progress and
+  ETA without knowing the study config.  It is written once, right
+  after the header — a resumed run never rewrites it, keeping resumed
+  and uninterrupted checkpoint files byte-identical.
 * ``result`` lines carry the full ``ExperimentResult`` as a dict.
 * ``failure`` lines are informational: failed cells are *retried* on
   resume (only completed cells are skipped).
@@ -79,6 +86,9 @@ class StudyCheckpoint:
         self.failures: Dict[str, dict] = {}
         #: group_key -> adaptive stopping decision, recovered from disk.
         self.stopped: Dict[str, dict] = {}
+        #: Planned study shape recorded by the original run (None until
+        #: a ``plan`` line is written or loaded).
+        self.plan: Optional[dict] = None
         self._fh = None
         self._has_header = False
         #: Byte offset of the end of the last *valid* line, set when a
@@ -135,6 +145,8 @@ class StudyCheckpoint:
                 }
             elif kind == "stopped":
                 self.stopped[doc["group_key"]] = dict(doc.get("data", {}))
+            elif kind == "plan":
+                self.plan = dict(doc.get("data", {}))
             # Unknown kinds are skipped: forward compatibility.
         if seen_content and not self._has_header:
             # A non-empty file whose only content was a torn (trimmed)
@@ -231,6 +243,20 @@ class StudyCheckpoint:
             "error_type": error_type,
             "traceback": traceback,
         }
+
+    def record_plan(self, data: dict) -> None:
+        """Record the study's planned shape, once per checkpoint file.
+
+        Idempotent across resumes: a checkpoint that already carries a
+        plan (loaded from disk or written this run) is left untouched,
+        so resumed files stay byte-identical to uninterrupted ones.
+        ``data`` must be deterministic (no timestamps) for the same
+        reason.
+        """
+        if self.plan is not None:
+            return
+        self._write_line({"kind": "plan", "data": dict(data)})
+        self.plan = dict(data)
 
     def record_stop(self, group_key: str, data: dict) -> None:
         """Record one replication group's adaptive stopping decision.

@@ -37,6 +37,7 @@ from ..gpu.device import SimulatedDevice
 from ..gpu.noise import DEFAULT_NOISE, NoiseModel
 from ..kernels import get_kernel
 from ..obs import NULL_TRACER, MetricsRegistry, tracer_for_dir
+from ..obs.spans import SpanContext, SpanScope, child_span
 from ..parallel.pool import TaskFailure
 from ..parallel.rng import RngFactory
 from ..search import (
@@ -118,6 +119,15 @@ class ExperimentTask:
     #: shared read-only pages across the process pool — and every
     #: measurement becomes a table lookup.  A string for picklability.
     landscape_cache: Optional[str] = None
+    #: What the trace stream records when ``trace_dir`` is set:
+    #: ``"events"`` (default, v1 behavior) — trajectory events only;
+    #: ``"spans"`` — hierarchical spans only (cheap enough to leave the
+    #: vectorized batch paths enabled); ``"full"`` — both.
+    trace_level: str = "events"
+    #: Parent span for this cell's span, propagated by value from the
+    #: study process (see :mod:`repro.obs.spans`).  Frozen/hashable so
+    #: grouped dispatch can key on it.
+    span_parent: Optional[SpanContext] = None
 
     @property
     def cell_key(self) -> str:
@@ -148,6 +158,20 @@ def batch_group_key(task: ExperimentTask) -> tuple:
         task.tuner_kwargs,
         task.trace_dir,
         task.landscape_cache,
+        task.trace_level,
+        task.span_parent,
+    )
+
+
+def _events_enabled(task: ExperimentTask) -> bool:
+    return task.trace_dir is not None and task.trace_level in (
+        "events", "full",
+    )
+
+
+def _spans_enabled(task: ExperimentTask) -> bool:
+    return task.trace_dir is not None and task.trace_level in (
+        "spans", "full",
     )
 
 
@@ -187,7 +211,22 @@ def run_experiment(task: ExperimentTask) -> ExperimentResult:
     layer records a failed cell instead of propagating ``inf`` into the
     statistics.
     """
+    if _spans_enabled(task):
+        with _cell_span(task):
+            return _run_cell(task, _context_for(task))
     return _run_cell(task, _context_for(task))
+
+
+def _cell_span(
+    task: ExperimentTask, parent: Optional[SpanContext] = None
+) -> SpanScope:
+    """Span covering one cell's full execution (setup + search + finals)."""
+    return SpanScope(
+        task.trace_dir,
+        "cell",
+        subject=task.cell_key,
+        parent=parent if parent is not None else task.span_parent,
+    )
 
 
 def _run_cell(
@@ -219,7 +258,11 @@ def _run_cell(
     tuner = make_tuner(task.algorithm, **dict(task.tuner_kwargs))
 
     cell = task.cell_key
-    tracer = tracer_for_dir(task.trace_dir) if task.trace_dir else NULL_TRACER
+    tracer = (
+        tracer_for_dir(task.trace_dir)
+        if _events_enabled(task)
+        else NULL_TRACER
+    )
     registry = MetricsRegistry()
 
     def measure(config: dict) -> float:
@@ -401,6 +444,28 @@ def run_experiment_batch(tasks: Sequence[ExperimentTask]) -> List[BatchItem]:
 def _run_group(tasks: List[ExperimentTask]) -> List[BatchItem]:
     """One homogeneous replication group -> per-task results/failures."""
     first = tasks[0]
+    if _spans_enabled(first):
+        # The group key drops the per-replication experiment index.
+        subject = (
+            f"{first.algorithm}/{first.kernel}/{first.arch}/"
+            f"{first.sample_size}"
+        )
+        with SpanScope(
+            first.trace_dir,
+            "replication-group",
+            subject=subject,
+            parent=first.span_parent,
+            fields={"tasks": len(tasks)},
+        ) as group_ctx:
+            return _run_group_inner(tasks, first, group_ctx)
+    return _run_group_inner(tasks, first, None)
+
+
+def _run_group_inner(
+    tasks: List[ExperimentTask],
+    first: ExperimentTask,
+    group_ctx: Optional[SpanContext],
+) -> List[BatchItem]:
     try:
         ctx = _context_for(first)
         tuner = make_tuner(first.algorithm, **dict(first.tuner_kwargs))
@@ -413,8 +478,10 @@ def _run_group(tasks: List[ExperimentTask]) -> List[BatchItem]:
     if (
         isinstance(tuner, DatasetTuner)
         and ctx.table is not None
-        and first.trace_dir is None
+        and not _events_enabled(first)
     ):
+        # Spans-only tracing keeps the vectorized fast path: spans need
+        # no per-evaluate events, so group-level work stays collapsed.
         vectorized = _run_dataset_batch(tasks, ctx, tuner)
         if vectorized is not None:
             return vectorized
@@ -426,16 +493,23 @@ def _run_group(tasks: List[ExperimentTask]) -> List[BatchItem]:
         if isinstance(tuner, DatasetTuner)
         else {}
     )
+    spans_on = _spans_enabled(first)
     out: List[BatchItem] = []
     for i, task in enumerate(tasks):
         configs, features = shared.get(i, (None, None))
         try:
-            out.append(
-                _run_cell(
+            if spans_on:
+                with _cell_span(task, parent=group_ctx):
+                    result = _run_cell(
+                        task, ctx,
+                        train_configs=configs, train_features=features,
+                    )
+            else:
+                result = _run_cell(
                     task, ctx,
                     train_configs=configs, train_features=features,
                 )
-            )
+            out.append(result)
         except Exception as exc:  # noqa: BLE001 - per-task attribution
             out.append(TaskFailure.from_exception(exc))
     return out

@@ -21,6 +21,7 @@ architecture lists.
 from __future__ import annotations
 
 import math
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -36,6 +37,8 @@ from ..gpu.landscape import (
 from ..gpu.noise import DEFAULT_NOISE, NoiseModel
 from ..kernels import PAPER_KERNEL_NAMES, get_kernel
 from ..obs import NULL_TRACER, MetricsRegistry, global_registry, tracer_for_dir
+from ..obs.profile import PhaseProfiler
+from ..obs.spans import SpanContext, SpanScope, child_span
 from ..parallel import ParallelMap, RngFactory, TaskOutcome
 from ..search import PAPER_ALGORITHM_NAMES, make_tuner
 from ..search.base import DatasetTuner
@@ -185,6 +188,8 @@ def _task_for(
     exp: int,
     trace_dir: Optional[str] = None,
     landscape_cache: Optional[str] = None,
+    trace_level: str = "events",
+    span_parent: Optional[SpanContext] = None,
 ) -> ExperimentTask:
     """One cell's :class:`ExperimentTask`, dataset slice attached."""
     flats = runtimes = None
@@ -208,6 +213,8 @@ def _task_for(
         tuner_kwargs=config.overrides_for(alg),
         trace_dir=trace_dir,
         landscape_cache=landscape_cache,
+        trace_level=trace_level,
+        span_parent=span_parent,
     )
 
 
@@ -216,6 +223,8 @@ def build_tasks(
     datasets: Dict[Tuple[str, str], PrecollectedDataset],
     trace_dir: Optional[str] = None,
     landscape_cache: Optional[str] = None,
+    trace_level: str = "events",
+    span_parent: Optional[SpanContext] = None,
 ) -> List[ExperimentTask]:
     """The full task list for one study, in a deterministic order."""
     tasks: List[ExperimentTask] = []
@@ -233,6 +242,8 @@ def build_tasks(
                                 kname, aname, size, exp,
                                 trace_dir=trace_dir,
                                 landscape_cache=landscape_cache,
+                                trace_level=trace_level,
+                                span_parent=span_parent,
                             )
                         )
     return tasks
@@ -309,6 +320,8 @@ def _run_adaptive(
     trace_dir: Optional[str],
     landscape_cache: Optional[str],
     batch_replications: bool,
+    trace_level: str = "events",
+    span_parent: Optional[SpanContext] = None,
 ) -> Tuple[List[object], List[dict], dict, int, int]:
     """The adaptive sequential-replication loop.
 
@@ -328,7 +341,9 @@ def _run_adaptive(
     resumed_cells)``.
     """
     rngs = RngFactory(config.root_seed)
-    tracer = tracer_for_dir(trace_dir) if trace_dir else NULL_TRACER
+    events_on = trace_dir is not None and trace_level in ("events", "full")
+    spans_on = trace_dir is not None and trace_level in ("spans", "full")
+    tracer = tracer_for_dir(trace_dir) if events_on else NULL_TRACER
     needs_data = {
         alg: isinstance(
             make_tuner(alg, **dict(config.overrides_for(alg))), DatasetTuner
@@ -367,6 +382,13 @@ def _run_adaptive(
                         ]
                     groups.append(group)
     replayed = sum(1 for g in groups if g.replay_target is not None)
+    if ckpt is not None:
+        # Adaptive totals are only known as stopping decisions land, so
+        # the plan records the fixed-design budget instead of an exact
+        # cell count; written once per checkpoint file (no-op on resume).
+        ckpt.record_plan(
+            {"budget_cells": sum(g.budget for g in groups)}
+        )
 
     done = dict(ckpt.completed) if ckpt is not None else {}
     results_by_key: Dict[str, object] = {}
@@ -438,6 +460,7 @@ def _run_adaptive(
                     config, datasets, group.algorithm, group.needs_data,
                     group.kernel, group.arch, group.sample_size, exp,
                     trace_dir=trace_dir, landscape_cache=landscape_cache,
+                    trace_level=trace_level, span_parent=span_parent,
                 )
                 if task.cell_key in done:
                     results_by_key[task.cell_key] = done[task.cell_key]
@@ -479,45 +502,56 @@ def _run_adaptive(
                 count_stop(group)
                 continue
             group.look += 1
-            confidence = adaptive.confidence_at_look(group.look)
-            optimum = optima[(group.kernel, group.arch)]
-            percents = [
-                100.0 * optimum / result.final_runtime_ms
-                for result in (
-                    results_by_key.get(f"{group.key}/{exp}")
-                    for exp in range(group.dispatched)
+            with ExitStack() as look_stack:
+                if spans_on:
+                    look_stack.enter_context(
+                        SpanScope(
+                            trace_dir,
+                            "adaptive-look",
+                            subject=f"{group.key}/look/{group.look}",
+                            parent=span_parent,
+                            fields={"replications": group.dispatched},
+                        )
+                    )
+                confidence = adaptive.confidence_at_look(group.look)
+                optimum = optima[(group.kernel, group.arch)]
+                percents = [
+                    100.0 * optimum / result.final_runtime_ms
+                    for result in (
+                        results_by_key.get(f"{group.key}/{exp}")
+                        for exp in range(group.dispatched)
+                    )
+                    if result is not None
+                ]
+                halfwidth = (
+                    bootstrap_halfwidth(
+                        percents,
+                        statistic=np.median,
+                        confidence=confidence,
+                        n_resamples=adaptive.n_resamples,
+                        rng=rngs.stream_for(
+                            f"adaptive/{group.key}/look/{group.look}"
+                        ),
+                    )
+                    if len(percents) >= 2
+                    else math.inf
                 )
-                if result is not None
-            ]
-            halfwidth = (
-                bootstrap_halfwidth(
-                    percents,
-                    statistic=np.median,
-                    confidence=confidence,
-                    n_resamples=adaptive.n_resamples,
-                    rng=rngs.stream_for(
-                        f"adaptive/{group.key}/look/{group.look}"
-                    ),
+                group.looks.append(
+                    {
+                        "look": group.look,
+                        "replications": group.dispatched,
+                        "confidence": confidence,
+                        "halfwidth": (
+                            float(halfwidth)
+                            if math.isfinite(halfwidth)
+                            else None
+                        ),
+                    }
                 )
-                if len(percents) >= 2
-                else math.inf
-            )
-            group.looks.append(
-                {
-                    "look": group.look,
-                    "replications": group.dispatched,
-                    "confidence": confidence,
-                    "halfwidth": (
-                        float(halfwidth)
-                        if math.isfinite(halfwidth)
-                        else None
-                    ),
-                }
-            )
-            if halfwidth <= adaptive.ci_target:
-                stop(group, "ci_target", halfwidth)
-            elif group.dispatched >= group.ceiling:
-                stop(group, "ceiling", halfwidth)
+                if halfwidth <= adaptive.ci_target:
+                    stop(group, "ci_target", halfwidth)
+                elif group.dispatched >= group.ceiling:
+                    stop(group, "ceiling", halfwidth)
 
     executed = sum(g.dispatched for g in groups)
     budget_total = sum(g.budget for g in groups)
@@ -576,6 +610,10 @@ def run_study(
     landscape_cache: Optional[object] = None,
     batch_replications: bool = False,
     adaptive: Optional[AdaptiveConfig] = None,
+    trace_level: str = "events",
+    profile: bool = False,
+    run_ledger: Optional[object] = None,
+    run_argv: Optional[List[str]] = None,
 ) -> StudyResults:
     """Run the full study described by ``config``.
 
@@ -648,8 +686,36 @@ def run_study(
         lines) and replayed verbatim on resume, so a resumed adaptive
         study is bit-identical to an uninterrupted one.  ``None``
         (default) runs the fixed design unchanged.
+    trace_level:
+        What lands in ``trace_dir``: ``"events"`` (default) — trajectory
+        events, exactly the v1 behavior; ``"spans"`` — hierarchical
+        spans only (study → phase → worker-chunk → replication-group →
+        cell → adaptive-look; cheap enough that the vectorized batch
+        paths stay enabled); ``"full"`` — both.  Ignored without a
+        ``trace_dir``.  Never affects results.
+    profile:
+        Attach a :class:`~repro.obs.profile.PhaseProfiler`: every phase
+        is sampled for wall/CPU seconds and peak RSS, and the snapshot
+        lands in ``StudyResults.metadata["profile"]`` (workers are
+        profiled through their span events when ``trace_level`` enables
+        spans).  Never affects results.
+    run_ledger:
+        Directory of the content-addressed run ledger.  When set, the
+        finished study writes a provenance manifest (config,
+        fingerprints, git rev, environment, telemetry, metrics,
+        headline numbers) into it — see :mod:`repro.obs.runs` and the
+        ``repro-runs`` CLI.  The manifest's ``run_id`` is recorded in
+        ``StudyResults.metadata["run_id"]``.  Never affects results.
+    run_argv:
+        The CLI argv to record in the run manifest (``None`` for
+        programmatic invocations).
     """
     config.validate()
+    if trace_level not in ("events", "spans", "full"):
+        raise ValueError(
+            f"trace_level must be 'events', 'spans' or 'full', "
+            f"got {trace_level!r}"
+        )
     if adaptive is not None and not compute_optima:
         raise ValueError(
             "adaptive replication requires compute_optima=True — the "
@@ -657,7 +723,10 @@ def run_study(
             "each landscape's true optimum"
         )
     emit = print if progress is True else (progress or None)
-    telemetry = StudyTelemetry(emit=emit if callable(emit) else None)
+    profiler = PhaseProfiler() if profile else None
+    telemetry = StudyTelemetry(
+        emit=emit if callable(emit) else None, profiler=profiler
+    )
     registry = metrics if metrics is not None else MetricsRegistry()
     # Dataset collection and optimum scans run in *this* process and hit
     # the process-global simulator counters; snapshot them so the delta
@@ -667,138 +736,188 @@ def run_study(
     if landscape_cache is None:
         landscape_cache = default_cache_dir()
     cache_dir = str(landscape_cache) if landscape_cache is not None else None
-
-    tables: Optional[Dict[Tuple[str, str], LandscapeTable]] = None
-    if cache_dir is not None:
-        with telemetry.phase("landscapes"):
-            tables = _load_landscapes(config, cache_dir)
-        telemetry.line(
-            f"prepared {len(tables)} landscape tables in {cache_dir} "
-            f"in {telemetry.phase_seconds['landscapes']:.1f}s"
-        )
-
-    datasets: Dict[Tuple[str, str], PrecollectedDataset] = {}
-    if _needs_dataset(config):
-        with telemetry.phase("dataset"):
-            datasets = _collect_datasets(config, tables)
-        telemetry.line(
-            f"collected {len(datasets)} datasets "
-            f"({config.design.dataset_rows_required} rows each) "
-            f"in {telemetry.phase_seconds['dataset']:.1f}s"
-        )
-
-    optima: Dict[Tuple[str, str], float] = {}
-    if compute_optima:
-        with telemetry.phase("optima"):
-            optima = _compute_optima(config, tables)
-        telemetry.line(
-            f"scanned {len(optima)} landscapes for true optima "
-            f"in {telemetry.phase_seconds['optima']:.1f}s"
-        )
-
-    ckpt: Optional[StudyCheckpoint] = None
-    if checkpoint is not None:
-        ckpt = (
-            checkpoint
-            if isinstance(checkpoint, StudyCheckpoint)
-            else StudyCheckpoint(checkpoint, root_seed=config.root_seed)
-        )
-    pool = ParallelMap(
-        workers=config.workers,
-        failure_policy=failure_policy,
-        retries=retries,
-        metrics=registry,
-    )
     trace_dir_str = str(trace_dir) if trace_dir is not None else None
+    spans_on = trace_dir_str is not None and trace_level in (
+        "spans", "full",
+    )
 
-    adaptive_meta: Optional[dict] = None
-    if adaptive is not None:
-        try:
-            with telemetry.phase("experiments"):
-                (
-                    results,
-                    failed_cells,
-                    adaptive_meta,
-                    total_cells,
-                    resumed,
-                ) = _run_adaptive(
-                    config, adaptive, datasets, optima, pool, ckpt,
-                    telemetry, registry, trace_dir_str, cache_dir,
-                    batch_replications,
+    with ExitStack() as span_stack:
+        # The study root span brackets the whole pipeline; its context
+        # exists before any phase so children parent on it.
+        study_ctx: Optional[SpanContext] = None
+        if spans_on:
+            study_ctx = span_stack.enter_context(
+                SpanScope(
+                    trace_dir_str,
+                    "study",
+                    subject=f"seed={config.root_seed}",
                 )
-        finally:
-            if ckpt is not None:
-                ckpt.close()
-    else:
-        tasks = build_tasks(
-            config,
-            datasets,
-            trace_dir=trace_dir_str,
-            landscape_cache=cache_dir,
-        )
-        done: Dict[str, object] = dict(ckpt.completed) if ckpt else {}
-        pending = [t for t in tasks if t.cell_key not in done]
-        telemetry.start_tasks(
-            len(pending), skipped=len(tasks) - len(pending)
-        )
-        telemetry.line(
-            f"running {len(pending)} experiments "
-            f"on {config.workers or 'all'} workers"
+            )
+
+        @contextmanager
+        def study_phase(name: str, span: Optional[SpanScope] = None):
+            """Telemetry phase + (optional) phase span, as one block."""
+            with telemetry.phase(name):
+                if span is not None:
+                    with span:
+                        yield
+                elif study_ctx is not None:
+                    with child_span(study_ctx, "phase", subject=name):
+                        yield
+                else:
+                    yield
+
+        tables: Optional[Dict[Tuple[str, str], LandscapeTable]] = None
+        if cache_dir is not None:
+            with study_phase("landscapes"):
+                tables = _load_landscapes(config, cache_dir)
+            telemetry.line(
+                f"prepared {len(tables)} landscape tables in {cache_dir} "
+                f"in {telemetry.phase_seconds['landscapes']:.1f}s"
+            )
+
+        datasets: Dict[Tuple[str, str], PrecollectedDataset] = {}
+        if _needs_dataset(config):
+            with study_phase("dataset"):
+                datasets = _collect_datasets(config, tables)
+            telemetry.line(
+                f"collected {len(datasets)} datasets "
+                f"({config.design.dataset_rows_required} rows each) "
+                f"in {telemetry.phase_seconds['dataset']:.1f}s"
+            )
+
+        optima: Dict[Tuple[str, str], float] = {}
+        if compute_optima:
+            with study_phase("optima"):
+                optima = _compute_optima(config, tables)
+            telemetry.line(
+                f"scanned {len(optima)} landscapes for true optima "
+                f"in {telemetry.phase_seconds['optima']:.1f}s"
+            )
+
+        ckpt: Optional[StudyCheckpoint] = None
+        if checkpoint is not None:
+            ckpt = (
+                checkpoint
+                if isinstance(checkpoint, StudyCheckpoint)
+                else StudyCheckpoint(checkpoint, root_seed=config.root_seed)
+            )
+        # The experiments-phase span is constructed (not yet entered)
+        # here so its context can ride inside every task across the
+        # process-pool boundary.
+        exp_span: Optional[SpanScope] = None
+        exp_ctx: Optional[SpanContext] = None
+        if spans_on:
+            exp_span = SpanScope(
+                trace_dir_str, "phase", subject="experiments",
+                parent=study_ctx,
+            )
+            exp_ctx = exp_span.ctx
+        pool = ParallelMap(
+            workers=config.workers,
+            failure_policy=failure_policy,
+            retries=retries,
+            metrics=registry,
+            span_context=exp_ctx,
         )
 
-        def on_outcome(outcome: TaskOutcome) -> None:
-            telemetry.task_finished(outcome.ok)
+        adaptive_meta: Optional[dict] = None
+        if adaptive is not None:
+            try:
+                with study_phase("experiments", span=exp_span):
+                    (
+                        results,
+                        failed_cells,
+                        adaptive_meta,
+                        total_cells,
+                        resumed,
+                    ) = _run_adaptive(
+                        config, adaptive, datasets, optima, pool, ckpt,
+                        telemetry, registry, trace_dir_str, cache_dir,
+                        batch_replications,
+                        trace_level=trace_level, span_parent=exp_ctx,
+                    )
+            finally:
+                if ckpt is not None:
+                    ckpt.close()
+        else:
+            tasks = build_tasks(
+                config,
+                datasets,
+                trace_dir=trace_dir_str,
+                landscape_cache=cache_dir,
+                trace_level=trace_level,
+                span_parent=exp_ctx,
+            )
             if ckpt is not None:
+                # The planned shape, for read-only watchers; written once
+                # per checkpoint file (no-op on resume).
+                ckpt.record_plan({"total_cells": len(tasks)})
+            done: Dict[str, object] = dict(ckpt.completed) if ckpt else {}
+            pending = [t for t in tasks if t.cell_key not in done]
+            telemetry.start_tasks(
+                len(pending), skipped=len(tasks) - len(pending)
+            )
+            telemetry.line(
+                f"running {len(pending)} experiments "
+                f"on {config.workers or 'all'} workers"
+            )
+
+            def on_outcome(outcome: TaskOutcome) -> None:
+                telemetry.task_finished(outcome.ok)
+                if ckpt is not None:
+                    if outcome.ok:
+                        ckpt.record_result(
+                            outcome.task.cell_key, outcome.result
+                        )
+                    else:
+                        ckpt.record_failure(
+                            outcome.task.cell_key,
+                            error=repr(outcome.error),
+                            error_type=outcome.error_type,
+                            traceback=outcome.traceback,
+                        )
+
+            try:
+                with study_phase("experiments", span=exp_span):
+                    if batch_replications:
+                        outcomes = pool.run_grouped(
+                            run_experiment,
+                            run_experiment_batch,
+                            pending,
+                            group_key=batch_group_key,
+                            on_outcome=on_outcome,
+                        )
+                    else:
+                        outcomes = pool.run(
+                            run_experiment, pending, on_outcome=on_outcome
+                        )
+            finally:
+                if ckpt is not None:
+                    ckpt.close()
+
+            by_key = {o.task.cell_key: o for o in outcomes}
+            results = []
+            failed_cells = []
+            for task in tasks:
+                if task.cell_key in done:
+                    results.append(done[task.cell_key])
+                    continue
+                outcome = by_key[task.cell_key]
                 if outcome.ok:
-                    ckpt.record_result(outcome.task.cell_key, outcome.result)
+                    results.append(outcome.result)
                 else:
-                    ckpt.record_failure(
-                        outcome.task.cell_key,
-                        error=repr(outcome.error),
-                        error_type=outcome.error_type,
-                        traceback=outcome.traceback,
+                    failed_cells.append(
+                        {
+                            "cell_key": task.cell_key,
+                            "error": repr(outcome.error),
+                            "error_type": outcome.error_type,
+                            "traceback": outcome.traceback,
+                            "attempts": outcome.attempts,
+                        }
                     )
-
-        try:
-            with telemetry.phase("experiments"):
-                if batch_replications:
-                    outcomes = pool.run_grouped(
-                        run_experiment,
-                        run_experiment_batch,
-                        pending,
-                        group_key=batch_group_key,
-                        on_outcome=on_outcome,
-                    )
-                else:
-                    outcomes = pool.run(
-                        run_experiment, pending, on_outcome=on_outcome
-                    )
-        finally:
-            if ckpt is not None:
-                ckpt.close()
-
-        by_key = {o.task.cell_key: o for o in outcomes}
-        results = []
-        failed_cells = []
-        for task in tasks:
-            if task.cell_key in done:
-                results.append(done[task.cell_key])
-                continue
-            outcome = by_key[task.cell_key]
-            if outcome.ok:
-                results.append(outcome.result)
-            else:
-                failed_cells.append(
-                    {
-                        "cell_key": task.cell_key,
-                        "error": repr(outcome.error),
-                        "error_type": outcome.error_type,
-                        "traceback": outcome.traceback,
-                        "attempts": outcome.attempts,
-                    }
-                )
-        total_cells = len(tasks)
-        resumed = len(tasks) - len(pending)
+            total_cells = len(tasks)
+            resumed = len(tasks) - len(pending)
     if failed_cells:
         telemetry.line(
             f"{len(failed_cells)} cells failed: "
@@ -837,6 +956,25 @@ def run_study(
         "telemetry": telemetry.snapshot(),
         "metrics": registry.to_json(),
         "trace_dir": str(trace_dir) if trace_dir is not None else None,
+        "trace_level": trace_level if trace_dir is not None else None,
         "landscape_cache": cache_dir,
     }
-    return StudyResults(results=results, optima=optima, metadata=metadata)
+    if profiler is not None:
+        metadata["profile"] = profiler.snapshot()
+    study_results = StudyResults(
+        results=results, optima=optima, metadata=metadata
+    )
+    if run_ledger is not None:
+        from ..obs.runs import build_manifest, record_run
+
+        manifest = build_manifest(
+            config, study_results, argv=run_argv, adaptive=adaptive
+        )
+        manifest_path = record_run(run_ledger, manifest)
+        # StudyResults copies the metadata dict, so annotate its copy.
+        study_results.metadata["run_id"] = manifest["run_id"]
+        study_results.metadata["run_manifest"] = str(manifest_path)
+        telemetry.line(
+            f"run {manifest['run_id']} recorded in {run_ledger}"
+        )
+    return study_results

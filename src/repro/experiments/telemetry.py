@@ -35,6 +35,12 @@ class StudyTelemetry:
         addition to one final line).
     clock:
         Monotonic time source, injectable for deterministic tests.
+    profiler:
+        Optional :class:`~repro.obs.profile.PhaseProfiler`.  When set,
+        every :meth:`phase` block also enters a profiler phase of the
+        same name, so the profile picks up CPU seconds and peak RSS
+        alongside the telemetry's wall clock.  ``None`` (default) costs
+        one ``is None`` check per phase.
     """
 
     def __init__(
@@ -42,10 +48,12 @@ class StudyTelemetry:
         emit: Optional[Callable[[str], None]] = None,
         report_every: int = 25,
         clock: Callable[[], float] = time.monotonic,
+        profiler: Optional[object] = None,
     ) -> None:
         self._emit = emit
         self._report_every = max(1, int(report_every))
         self._clock = clock
+        self.profiler = profiler
         self._started = clock()
         self.phase_seconds: Dict[str, float] = {}
         #: Ordered phase records: ``{"name", "started_at", "seconds"}``,
@@ -174,12 +182,19 @@ class _PhaseTimer:
         self._telemetry = telemetry
         self._name = name
         self._t0 = 0.0
+        self._profile_phase = None
 
     def __enter__(self) -> "_PhaseTimer":
         self._t0 = self._telemetry._clock()
+        if self._telemetry.profiler is not None:
+            self._profile_phase = self._telemetry.profiler.phase(self._name)
+            self._profile_phase.__enter__()
         return self
 
     def __exit__(self, *exc_info) -> None:
+        if self._profile_phase is not None:
+            self._profile_phase.__exit__(*exc_info)
+            self._profile_phase = None
         elapsed = self._telemetry._clock() - self._t0
         acc = self._telemetry.phase_seconds
         acc[self._name] = acc.get(self._name, 0.0) + elapsed

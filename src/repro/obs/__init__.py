@@ -11,14 +11,24 @@ package makes that trajectory first-class:
 * :mod:`repro.obs.metrics` — a process-local metrics registry (counters,
   gauges, histograms) exportable as JSON and Prometheus text format;
 * :mod:`repro.obs.schema` — the trace event schema and its validator;
-* :mod:`repro.obs.read` — ``python -m repro.obs.read`` for summarizing
-  and validating trace files.
+* :mod:`repro.obs.read` — ``python -m repro.obs.read`` for summarizing,
+  validating, and live-tailing (``--follow``) trace files;
+* :mod:`repro.obs.spans` — hierarchical span tracing (study → phase →
+  replication-group → cell → adaptive-look) with cross-process context
+  propagation and tree/timeline readers;
+* :mod:`repro.obs.profile` — per-phase/per-worker wall/CPU/RSS profiling
+  with a flamegraph-style report;
+* :mod:`repro.obs.runs` — the content-addressed run ledger and the
+  ``repro-runs`` list/show/diff CLI;
+* :mod:`repro.obs.live` — read-only live monitoring of an in-flight
+  study (``repro-study --watch``).
 
 Everything here is dependency-free and import-light so the hot paths
 (``Objective.evaluate``, the GPU simulator) can reference it without
 cost when observability is off.
 """
 
+from .live import StudyWatch, watch_study
 from .metrics import (
     Counter,
     Gauge,
@@ -27,11 +37,22 @@ from .metrics import (
     global_registry,
     reset_global_registry,
 )
+from .profile import PhaseProfiler, profile_from_events, render_profile
+from .runs import build_manifest, diff_runs, list_runs, load_run, record_run
 from .schema import (
     TRACE_SCHEMA_VERSION,
     validate_event,
     validate_trace_lines,
     validate_trace_path,
+)
+from .spans import (
+    SpanContext,
+    SpanScope,
+    build_span_forest,
+    child_span,
+    render_span_tree,
+    span_attribution,
+    worker_timeline,
 )
 from .trace import (
     NULL_TRACER,
@@ -57,4 +78,21 @@ __all__ = [
     "validate_event",
     "validate_trace_lines",
     "validate_trace_path",
+    "SpanContext",
+    "SpanScope",
+    "child_span",
+    "build_span_forest",
+    "span_attribution",
+    "render_span_tree",
+    "worker_timeline",
+    "PhaseProfiler",
+    "profile_from_events",
+    "render_profile",
+    "build_manifest",
+    "record_run",
+    "list_runs",
+    "load_run",
+    "diff_runs",
+    "StudyWatch",
+    "watch_study",
 ]

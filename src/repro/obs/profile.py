@@ -1,0 +1,239 @@
+"""Phase profiler: wall/CPU/RSS sampling per study phase and worker.
+
+:class:`PhaseProfiler` is the in-process half: the study telemetry
+enters a profiler phase alongside every
+:meth:`~repro.experiments.telemetry.StudyTelemetry.phase` timer, so each
+pipeline phase is sampled for wall seconds (``time.perf_counter``), CPU
+seconds (``time.process_time``), and peak RSS (``resource.getrusage``)
+at zero cost when no profiler is attached.
+
+The cross-process half reads span events back out of the trace stream
+(:func:`profile_from_events`): worker spans already carry ``cpu_s`` and
+``rss_kb`` samples, so the merged profile attributes time per phase
+*and* per worker pid without any extra instrumentation channel.
+
+Reports render as a flamegraph-style text block (bars proportional to
+wall time, CPU share marked inside each bar) or as an SVG via
+:func:`repro.reporting.flame_svg`.
+
+Usage::
+
+    python -m repro.obs.profile TRACE [TRACE ...] [--json] [--svg PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+__all__ = [
+    "PhaseProfiler",
+    "profile_from_events",
+    "render_profile",
+    "main",
+]
+
+
+def _rss_kb() -> int:
+    if _resource is None:  # pragma: no cover - non-POSIX
+        return 0
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+
+
+class PhaseProfiler:
+    """Accumulates wall/CPU/RSS samples per named phase.
+
+    Phases may re-enter (the experiments phase runs once per study but
+    an adaptive study revisits it per look); samples accumulate.
+    Nesting is allowed and attributed to each open phase independently —
+    the profiler reports where time was spent, not an exclusive-cost
+    flamegraph, matching how the telemetry phases overlap.
+    """
+
+    def __init__(self) -> None:
+        #: name -> {"wall_s", "cpu_s", "calls", "rss_kb_peak"}
+        self.phases: Dict[str, dict] = {}
+        self._order: List[str] = []
+
+    class _Active:
+        __slots__ = ("profiler", "name", "_p0", "_c0")
+
+        def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+            self.profiler = profiler
+            self.name = name
+
+        def __enter__(self) -> "PhaseProfiler._Active":
+            self._p0 = time.perf_counter()
+            self._c0 = time.process_time()
+            return self
+
+        def __exit__(self, *exc_info) -> None:
+            self.profiler._record(
+                self.name,
+                time.perf_counter() - self._p0,
+                time.process_time() - self._c0,
+                _rss_kb(),
+            )
+
+    def phase(self, name: str) -> "PhaseProfiler._Active":
+        return PhaseProfiler._Active(self, name)
+
+    def _record(
+        self, name: str, wall_s: float, cpu_s: float, rss_kb: int
+    ) -> None:
+        stats = self.phases.get(name)
+        if stats is None:
+            stats = self.phases[name] = {
+                "wall_s": 0.0, "cpu_s": 0.0, "calls": 0, "rss_kb_peak": 0,
+            }
+            self._order.append(name)
+        stats["wall_s"] += wall_s
+        stats["cpu_s"] += cpu_s
+        stats["calls"] += 1
+        stats["rss_kb_peak"] = max(stats["rss_kb_peak"], rss_kb)
+
+    def snapshot(self) -> dict:
+        """JSON-ready profile: phases in first-entered order."""
+        return {
+            "phases": {
+                name: {
+                    "wall_s": round(st["wall_s"], 6),
+                    "cpu_s": round(st["cpu_s"], 6),
+                    "calls": st["calls"],
+                    "rss_kb_peak": st["rss_kb_peak"],
+                }
+                for name, st in (
+                    (n, self.phases[n]) for n in self._order
+                )
+            },
+            "rss_kb_peak": _rss_kb(),
+        }
+
+    def render(self, width: int = 48) -> str:
+        return render_profile(self.snapshot(), width=width)
+
+
+def profile_from_events(events: Iterable[dict]) -> dict:
+    """Build a merged profile from span events in a trace stream.
+
+    Phase spans feed the ``phases`` table; every span's pid feeds the
+    ``workers`` table (busy time as the interval union per pid, CPU as
+    the sum of leaf samples).  Mirrors
+    :func:`repro.obs.spans.span_attribution` but returns the profiler's
+    snapshot shape so one renderer serves both halves.
+    """
+    from .spans import span_attribution
+
+    attr = span_attribution(events)
+    return {
+        "phases": attr["phases"],
+        "workers": attr["workers"],
+        "total_s": attr["total_s"],
+        "rss_kb_peak": max(
+            (st["rss_kb_peak"] for st in attr["workers"].values()),
+            default=0,
+        ),
+    }
+
+
+def render_profile(profile: dict, width: int = 48) -> str:
+    """Flamegraph-style text report: one bar per phase, one per worker."""
+    phases = profile.get("phases", {})
+    workers = profile.get("workers", {})
+    total = profile.get("total_s") or sum(
+        st.get("wall_s", 0.0) for st in phases.values()
+    )
+    lines: List[str] = []
+    name_w = max(
+        [len(str(n)) for n in phases]
+        + [len(f"pid {p}") for p in workers]
+        + [5]
+    )
+    lines.append(f"profile: {total:.3f}s total")
+    for name, st in phases.items():
+        wall = float(st.get("wall_s", 0.0))
+        cpu = float(st.get("cpu_s", 0.0))
+        frac = wall / total if total > 0 else 0.0
+        bar_len = max(1, round(frac * width)) if wall > 0 else 0
+        # CPU share rendered inside the wall bar: '#' is CPU-busy,
+        # '-' is wall time spent waiting (I/O, workers, pickling).
+        cpu_len = min(bar_len, round((cpu / wall) * bar_len)) if wall else 0
+        bar = "#" * cpu_len + "-" * (bar_len - cpu_len)
+        lines.append(
+            f"  {name:<{name_w}} |{bar:<{width}}| "
+            f"{wall:>9.3f}s wall  {cpu:>8.3f}s cpu  {frac * 100:5.1f}%"
+        )
+    for pid, st in workers.items():
+        busy = float(st.get("busy_s", 0.0))
+        cpu = float(st.get("cpu_s", 0.0))
+        frac = busy / total if total > 0 else 0.0
+        bar_len = max(1, round(frac * width)) if busy > 0 else 0
+        cpu_len = min(bar_len, round((cpu / busy) * bar_len)) if busy else 0
+        bar = "#" * cpu_len + "-" * (bar_len - cpu_len)
+        label = f"pid {pid}"
+        lines.append(
+            f"  {label:<{name_w}} |{bar:<{width}}| "
+            f"{busy:>9.3f}s busy  {cpu:>8.3f}s cpu  {frac * 100:5.1f}%"
+        )
+    peak = profile.get("rss_kb_peak")
+    if peak:
+        lines.append(f"  peak RSS: {peak} KiB")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.profile",
+        description=(
+            "Render a phase/worker profile from span events in trace "
+            "JSONL files."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="+", metavar="TRACE",
+        help="trace .jsonl file(s) or trace directories",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the profile as JSON instead of text",
+    )
+    parser.add_argument(
+        "--svg", metavar="PATH",
+        help="also write a flamegraph SVG of the span tree to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    from .read import iter_trace_events
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"error: {p} does not exist", file=sys.stderr)
+        return 2
+    events = list(iter_trace_events(paths))
+    profile = profile_from_events(events)
+    if args.as_json:
+        print(json.dumps(profile, indent=2, sort_keys=True))
+    else:
+        print(render_profile(profile))
+    if args.svg:
+        from ..reporting import flame_svg
+        from .spans import build_span_forest
+
+        Path(args.svg).write_text(flame_svg(build_span_forest(events)))
+        print(f"wrote {args.svg}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -4,18 +4,28 @@ Every event is a flat JSON object with the common fields
 
 * ``t`` — wall-clock timestamp (seconds since the epoch, float),
 * ``kind`` — one of :data:`EVENT_KINDS`,
-* ``cell`` — the experiment's cell key
-  (``algorithm/kernel/arch/sample_size/experiment``),
 
-plus per-kind required fields (:data:`EVENT_FIELDS`).  Extra fields are
-always allowed (forward compatibility); missing required fields, wrong
-basic types, or unknown kinds are validation errors.
+plus per-kind required fields (:data:`EVENT_FIELDS`).  Trajectory events
+additionally require ``cell`` — the experiment's cell key
+(``algorithm/kernel/arch/sample_size/experiment``); ``span`` events
+(schema v2) carry ancestry fields instead, because a span may cover
+many cells (a phase, a worker chunk) or none (the study root).  Extra
+fields are always allowed (forward compatibility); missing required
+fields, wrong basic types, or unknown kinds are validation errors.
 
 The per-cell contract the CI smoke study asserts: one ``tuner_start``,
 one ``tuner_end``, one ``experiment_end``, and exactly ``sample_size``
 ``evaluate`` events per cell (dataset rows are replayed as ``evaluate``
 events with ``source="dataset"``, live measurements carry
 ``source="live"``).
+
+Schema history:
+
+* v1 — trajectory events only; ``cell`` was a common field.
+* v2 — adds the ``span`` kind (hierarchical span tracing, see
+  :mod:`repro.obs.spans`); ``cell`` moves from the common trio into
+  each trajectory kind's required list (the on-disk shape of v1 events
+  is unchanged — every v1 trace validates under v2).
 """
 
 from __future__ import annotations
@@ -33,27 +43,33 @@ __all__ = [
     "validate_trace_path",
 ]
 
-TRACE_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
 
-#: kind -> required fields beyond the common (t, kind, cell) trio.
+#: kind -> required fields beyond the common (t, kind) pair.
 EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
-    "tuner_start": ("algorithm", "budget"),
-    "evaluate": ("index", "config", "runtime_ms", "best_ms", "source"),
-    "incumbent_update": ("index", "runtime_ms"),
-    "model_fit": ("duration_s",),
-    "propose": ("duration_s",),
-    "tuner_end": ("samples_used", "best_ms"),
-    "experiment_end": ("final_runtime_ms", "samples_used"),
+    "tuner_start": ("cell", "algorithm", "budget"),
+    "evaluate": ("cell", "index", "config", "runtime_ms", "best_ms",
+                 "source"),
+    "incumbent_update": ("cell", "index", "runtime_ms"),
+    "model_fit": ("cell", "duration_s"),
+    "propose": ("cell", "duration_s"),
+    "tuner_end": ("cell", "samples_used", "best_ms"),
+    "experiment_end": ("cell", "final_runtime_ms", "samples_used"),
     # Adaptive-replication stopping decision for one replication group;
     # its ``cell`` is the group key (no experiment index).  ``halfwidth``
     # rides along as an optional extra field — it has no defined value
     # when a group stops with too few successful replications for a CI.
-    "adaptive_stop": ("reason", "replications", "budget", "look"),
+    "adaptive_stop": ("cell", "reason", "replications", "budget", "look"),
+    # One completed hierarchical span (repro.obs.spans).  Ancestry
+    # fields (parent_id, trace_id) and resource samples (cpu_s, rss_kb)
+    # are optional extras; ``subject`` names what the span covered
+    # (phase name, cell key, group key, task slice).
+    "span": ("span_id", "name", "start", "duration_s", "pid"),
 }
 
 EVENT_KINDS = tuple(EVENT_FIELDS)
 
-_COMMON = ("t", "kind", "cell")
+_COMMON = ("t", "kind")
 
 #: field -> acceptable types, for the basic fields worth checking.
 _FIELD_TYPES: Dict[str, tuple] = {
@@ -72,6 +88,16 @@ _FIELD_TYPES: Dict[str, tuple] = {
     "reason": (str,),
     "replications": (int,),
     "look": (int,),
+    "span_id": (str,),
+    "parent_id": (str,),
+    "trace_id": (str,),
+    "name": (str,),
+    "subject": (str,),
+    "start": (int, float),
+    "pid": (int,),
+    "cpu_s": (int, float),
+    "rss_kb": (int,),
+    "error": (str,),
 }
 
 

@@ -199,8 +199,29 @@ def _run_chunk(
     backoff: float,
     backoff_cap: float,
     retryable: Tuple[Type[BaseException], ...],
+    span_context: Any = None,
 ) -> List[TaskOutcome]:
-    """Worker entry point: per-task outcomes, never a chunk-wide raise."""
+    """Worker entry point: per-task outcomes, never a chunk-wide raise.
+
+    ``span_context`` is an opaque parent handle
+    (:class:`repro.obs.spans.SpanContext`); when set, the whole chunk is
+    wrapped in a ``worker-chunk`` span so the span-tree reader can
+    attribute wall time to this worker process.
+    """
+    if span_context is not None:
+        from ..obs.spans import child_span
+
+        with child_span(
+            span_context,
+            "worker-chunk",
+            subject=f"tasks[{start}:{start + len(chunk)}]",
+            tasks=len(chunk),
+        ):
+            return [
+                _run_one(fn, start + i, task, retries, backoff,
+                         backoff_cap, retryable)
+                for i, task in enumerate(chunk)
+            ]
     return [
         _run_one(fn, start + i, task, retries, backoff, backoff_cap, retryable)
         for i, task in enumerate(chunk)
@@ -303,8 +324,23 @@ def _run_batches(
     backoff: float,
     backoff_cap: float,
     retryable: Tuple[Type[BaseException], ...],
+    span_context: Any = None,
 ) -> List[TaskOutcome]:
     """Worker entry point for grouped dispatch: many batches per message."""
+    if span_context is not None:
+        from ..obs.spans import child_span
+
+        n_tasks = sum(len(batch) for _, batch in batches)
+        with child_span(
+            span_context,
+            "worker-chunk",
+            subject=f"{len(batches)} batches, {n_tasks} tasks",
+            tasks=n_tasks,
+        ):
+            return _run_batches(
+                fn, batch_fn, batches, retries, backoff, backoff_cap,
+                retryable,
+            )
     out: List[TaskOutcome] = []
     for indices, batch in batches:
         out.extend(
@@ -344,6 +380,14 @@ class ParallelMap:
         pool-level instrumentation, recorded parent-side as outcomes
         arrive: ``pool_tasks_total``, ``pool_task_failures_total``,
         ``task_retries_total`` counters and the ``pool_workers`` gauge.
+    span_context:
+        Optional :class:`repro.obs.spans.SpanContext` parent handle.
+        When set, every worker-side chunk/batch execution is wrapped in
+        a ``worker-chunk`` span parented on it, giving the span-tree
+        reader per-worker time attribution.  ``None`` (default) emits
+        nothing; the serial path never emits worker spans (there are no
+        worker processes to attribute).  Assignable after construction —
+        the study sets it once its experiments-phase span exists.
     """
 
     def __init__(
@@ -356,6 +400,7 @@ class ParallelMap:
         backoff_cap: float = 2.0,
         retryable: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE,
         metrics: Optional[object] = None,
+        span_context: Optional[object] = None,
     ) -> None:
         if failure_policy not in ("fail_fast", "collect"):
             raise ValueError(
@@ -370,6 +415,7 @@ class ParallelMap:
         self.backoff_cap = float(backoff_cap)
         self.retryable = tuple(retryable)
         self.metrics = metrics
+        self.span_context = span_context
 
     # -- public API -----------------------------------------------------------
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
@@ -489,6 +535,7 @@ class ParallelMap:
                 pool.submit(
                     _run_chunk, fn, start, c, self.retries, self.backoff,
                     self.backoff_cap, self.retryable,
+                    span_context=self.span_context,
                 ): [(start + i, t) for i, t in enumerate(c)]
                 for start, c in spans
             }
@@ -635,6 +682,7 @@ class ParallelMap:
                 pool.submit(
                     _run_batches, fn, batch_fn, message, self.retries,
                     self.backoff, self.backoff_cap, self.retryable,
+                    span_context=self.span_context,
                 ): [
                     (index, task)
                     for indices, batch in message

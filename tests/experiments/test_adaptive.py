@@ -373,12 +373,13 @@ class TestAdaptiveResume:
             adaptive=adaptive,
         )
 
-        # Keep only the header and the first two completed cells: every
-        # stopping decision must be re-derived, identically.
+        # Keep only the header, the plan line, and the first two
+        # completed cells: every stopping decision must be re-derived,
+        # identically.
         clear_optimum_cache()
         lines = full_ckpt.read_bytes().splitlines(keepends=True)
         resumed_ckpt = tmp_path / "resumed.jsonl"
-        resumed_ckpt.write_bytes(b"".join(lines[:3]))
+        resumed_ckpt.write_bytes(b"".join(lines[:4]))
         resumed = run_study(
             config,
             checkpoint=resumed_ckpt,

@@ -141,7 +141,8 @@ class TestStudyParity:
         lines = batch_ckpt.read_bytes().splitlines(keepends=True)
         assert len(lines) > 2
         resumed_ckpt = tmp_path / "resumed.jsonl"
-        resumed_ckpt.write_bytes(b"".join(lines[:2]))
+        # Header + plan line + first completed cell.
+        resumed_ckpt.write_bytes(b"".join(lines[:3]))
         resumed = run_study(
             config,
             checkpoint=resumed_ckpt,

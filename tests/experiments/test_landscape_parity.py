@@ -88,9 +88,10 @@ class TestStudyParity:
         # trailing lines and rerun.
         clear_optimum_cache()
         lines = live_ckpt.read_bytes().splitlines(keepends=True)
-        assert len(lines) > 3
+        assert len(lines) > 4
         resumed_ckpt = tmp_path / "resumed.jsonl"
-        resumed_ckpt.write_bytes(b"".join(lines[:3]))
+        # Header + plan line + first two completed cells.
+        resumed_ckpt.write_bytes(b"".join(lines[:4]))
         resumed = run_study(
             config,
             checkpoint=resumed_ckpt,

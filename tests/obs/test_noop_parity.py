@@ -70,6 +70,85 @@ def test_observed_run_is_bit_identical(name, tmp_path):
     assert registry.counter("evaluations_total").value == 20.0
 
 
+class TestStudyLevelParity:
+    """Spans, profiling, and the run ledger never change study results."""
+
+    def _config(self):
+        from repro.experiments import ExperimentDesign, StudyConfig
+
+        return StudyConfig(
+            design=ExperimentDesign(
+                sample_sizes=(25,), experiments_at_largest=2
+            ),
+            algorithms=("random_search", "genetic_algorithm"),
+            kernels=("add",),
+            archs=("titan_v",),
+            image_x=512,
+            image_y=512,
+            workers=1,
+        )
+
+    def test_fully_observed_study_is_bit_identical(self, tmp_path):
+        from repro.experiments import run_study
+        from repro.experiments.optimum import clear_optimum_cache
+
+        cache = tmp_path / "cache"
+        bare = run_study(self._config(), landscape_cache=cache)
+        clear_optimum_cache()
+        observed = run_study(
+            self._config(),
+            landscape_cache=cache,
+            trace_dir=tmp_path / "trace",
+            trace_level="full",
+            profile=True,
+            run_ledger=tmp_path / "ledger",
+            metrics=MetricsRegistry(),
+        )
+        # ExperimentResult equality covers configs, runtimes, and
+        # curves (the metrics payload is excluded by its dataclass
+        # field, compare=False) — bit-identical modulo observability.
+        assert observed.results == bare.results
+        assert observed.optima == bare.optima
+        # And the observability artifacts all materialized.
+        assert "run_id" in observed.metadata
+        assert observed.metadata["profile"]["phases"]
+        spans = [
+            json.loads(line)
+            for f in (tmp_path / "trace").glob("*.jsonl")
+            for line in f.read_text().splitlines()
+            if '"span"' in line
+        ]
+        assert any(e.get("name") == "study" for e in spans)
+
+    def test_spans_only_level_emits_no_trajectory_events(self, tmp_path):
+        from repro.experiments import run_study
+
+        run_study(
+            self._config(),
+            landscape_cache=tmp_path / "cache",
+            trace_dir=tmp_path / "trace",
+            trace_level="spans",
+        )
+        kinds = {
+            json.loads(line)["kind"]
+            for f in (tmp_path / "trace").glob("*.jsonl")
+            for line in f.read_text().splitlines()
+            if line.strip()
+        }
+        assert kinds == {"span"}
+
+    def test_invalid_trace_level_rejected(self, tmp_path):
+        from repro.experiments import run_study
+
+        with pytest.raises(ValueError, match="trace_level"):
+            run_study(
+                self._config(),
+                landscape_cache=tmp_path / "cache",
+                trace_dir=tmp_path / "trace",
+                trace_level="verbose",
+            )
+
+
 def test_trace_matches_history(tmp_path):
     tracer = JsonlTracer(tmp_path / "trace.jsonl")
     result, _, _ = _run(

@@ -1,0 +1,114 @@
+"""Phase profiler: accumulation, trace-derived profiles, rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.profile import (
+    PhaseProfiler,
+    main as profile_main,
+    profile_from_events,
+    render_profile,
+)
+
+
+class TestPhaseProfiler:
+    def test_accumulates_in_entry_order(self):
+        prof = PhaseProfiler()
+        with prof.phase("landscapes"):
+            pass
+        with prof.phase("experiments"):
+            pass
+        with prof.phase("experiments"):
+            pass
+        snap = prof.snapshot()
+        assert list(snap["phases"]) == ["landscapes", "experiments"]
+        assert snap["phases"]["experiments"]["calls"] == 2
+        assert snap["phases"]["landscapes"]["wall_s"] >= 0
+        assert snap["rss_kb_peak"] > 0
+
+    def test_snapshot_is_json_serializable(self):
+        prof = PhaseProfiler()
+        with prof.phase("optima"):
+            pass
+        json.dumps(prof.snapshot())
+
+    def test_nested_phases_attribute_to_both(self):
+        prof = PhaseProfiler()
+        with prof.phase("outer"):
+            with prof.phase("inner"):
+                pass
+        snap = prof.snapshot()
+        assert snap["phases"]["outer"]["calls"] == 1
+        assert snap["phases"]["inner"]["calls"] == 1
+
+    def test_telemetry_drives_profiler_phases(self):
+        from repro.experiments.telemetry import StudyTelemetry
+
+        prof = PhaseProfiler()
+        telemetry = StudyTelemetry(profiler=prof)
+        with telemetry.phase("dataset"):
+            pass
+        assert "dataset" in prof.snapshot()["phases"]
+        assert "dataset" in telemetry.phase_seconds
+
+
+SPAN_EVENTS = [
+    {"kind": "span", "span_id": "s", "name": "study",
+     "start": 0.0, "duration_s": 8.0, "cpu_s": 2.0, "pid": 1},
+    {"kind": "span", "span_id": "p", "parent_id": "s", "name": "phase",
+     "subject": "experiments", "start": 1.0, "duration_s": 6.0,
+     "cpu_s": 1.0, "pid": 1},
+    {"kind": "span", "span_id": "w", "parent_id": "p",
+     "name": "worker-chunk", "start": 1.5, "duration_s": 5.0,
+     "cpu_s": 4.8, "pid": 2, "rss_kb": 2048},
+]
+
+
+class TestProfileFromEvents:
+    def test_merges_phases_and_workers(self):
+        profile = profile_from_events(SPAN_EVENTS)
+        assert profile["total_s"] == 8.0
+        assert profile["phases"]["experiments"]["wall_s"] == 6.0
+        assert profile["workers"][2]["busy_s"] == 5.0
+        assert profile["rss_kb_peak"] == 2048
+
+    def test_render_mentions_every_phase_and_worker(self):
+        text = render_profile(profile_from_events(SPAN_EVENTS))
+        assert "experiments" in text
+        assert "pid 2" in text
+        assert "peak RSS: 2048 KiB" in text
+        # CPU-heavy worker bar is mostly '#', waiting shows as '-'.
+        worker_row = next(l for l in text.splitlines() if "pid 2" in l)
+        assert "#" in worker_row
+
+    def test_render_handles_empty_profile(self):
+        text = render_profile({"phases": {}, "workers": {}})
+        assert text.startswith("profile:")
+
+
+class TestProfileCli:
+    def _write_trace(self, tmp_path):
+        trace = tmp_path / "trace"
+        trace.mkdir()
+        with (trace / "trace-1.jsonl").open("w") as fh:
+            for doc in SPAN_EVENTS:
+                fh.write(json.dumps(doc) + "\n")
+        return trace
+
+    def test_json_output(self, tmp_path, capsys):
+        trace = self._write_trace(tmp_path)
+        assert profile_main([str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["phases"]["experiments"]["wall_s"] == 6.0
+
+    def test_svg_output(self, tmp_path, capsys):
+        trace = self._write_trace(tmp_path)
+        svg = tmp_path / "flame.svg"
+        assert profile_main([str(trace), "--svg", str(svg)]) == 0
+        text = svg.read_text()
+        assert text.startswith("<svg")
+        assert "study" in text
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        assert profile_main([str(tmp_path / "nope")]) == 2

@@ -1,0 +1,106 @@
+"""Incremental trace tailing: JsonlTail, TraceTail, and --follow."""
+
+import io
+import json
+
+from repro.obs.read import JsonlTail, TraceTail, _follow, main as read_main
+
+
+def _append(path, docs, tear=None):
+    with path.open("a") as fh:
+        for doc in docs:
+            fh.write(json.dumps(doc) + "\n")
+        if tear is not None:
+            fh.write(tear)
+
+
+class TestJsonlTail:
+    def test_incremental_polls_return_only_new_events(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _append(path, [{"i": 1}, {"i": 2}])
+        tail = JsonlTail(path)
+        assert [d["i"] for d in tail.poll()] == [1, 2]
+        assert tail.poll() == []
+        _append(path, [{"i": 3}])
+        assert [d["i"] for d in tail.poll()] == [3]
+
+    def test_missing_file_polls_empty(self, tmp_path):
+        tail = JsonlTail(tmp_path / "nope.jsonl")
+        assert tail.poll() == []
+
+    def test_torn_final_line_unconsumed_until_complete(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _append(path, [{"i": 1}], tear='{"i": 2')
+        tail = JsonlTail(path)
+        assert [d["i"] for d in tail.poll()] == [1]
+        # Nothing new yet: the torn line is someone's in-flight write.
+        assert tail.poll() == []
+        with path.open("a") as fh:
+            fh.write(', "done": true}\n')
+        assert [d["i"] for d in tail.poll()] == [2]
+
+    def test_truncated_file_restarts_from_zero(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _append(path, [{"i": 1}, {"i": 2}, {"i": 3}])
+        tail = JsonlTail(path)
+        tail.poll()
+        # Checkpoint-style trim: the file shrinks under the tail.
+        path.write_text(json.dumps({"i": 9}) + "\n")
+        assert [d["i"] for d in tail.poll()] == [9]
+
+    def test_unparseable_interior_line_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"i": 1}\ngarbage\n{"i": 2}\n')
+        tail = JsonlTail(path)
+        assert [d["i"] for d in tail.poll()] == [1, 2]
+
+
+class TestTraceTail:
+    def test_picks_up_files_created_after_start(self, tmp_path):
+        trace = tmp_path / "trace"
+        trace.mkdir()
+        tail = TraceTail(trace)
+        assert tail.poll() == []
+        _append(trace / "trace-1.jsonl", [{"i": 1}])
+        assert [d["i"] for d in tail.poll()] == [1]
+        # A new worker starts writing its own file mid-study.
+        _append(trace / "trace-2.jsonl", [{"i": 2}])
+        _append(trace / "trace-1.jsonl", [{"i": 3}])
+        assert sorted(d["i"] for d in tail.poll()) == [2, 3]
+
+    def test_single_file_target(self, tmp_path):
+        path = tmp_path / "one.jsonl"
+        _append(path, [{"i": 1}])
+        tail = TraceTail(path)
+        assert [d["i"] for d in tail.poll()] == [1]
+
+
+class TestFollow:
+    def test_follow_prints_new_events_per_poll(self, tmp_path):
+        trace = tmp_path / "trace"
+        trace.mkdir()
+        path = trace / "trace-1.jsonl"
+        _append(path, [{"kind": "evaluate", "cell": "a/0", "index": 0}])
+        out = io.StringIO()
+        polls = [0]
+
+        def fake_sleep(_):
+            polls[0] += 1
+            _append(path, [{"kind": "evaluate", "cell": "a/0",
+                            "index": polls[0]}])
+
+        rc = _follow([trace], interval=0.0, max_polls=3, out=out,
+                     sleep=fake_sleep)
+        assert rc == 0
+        lines = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert [d["index"] for d in lines] == [0, 1, 2]
+
+    def test_cli_follow_allows_missing_paths(self, tmp_path, capsys):
+        missing = tmp_path / "later"
+        # Without --follow a missing path is an error...
+        assert read_main([str(missing)]) == 2
+        # ...with --follow it is something to wait for.
+        assert read_main(
+            [str(missing), "--follow", "--interval", "0",
+             "--max-polls", "1"]
+        ) == 0

@@ -1,0 +1,243 @@
+"""Content-addressed run ledger: manifests, listing, and regression diff.
+
+The acceptance bar for the ledger: an injected >=20% phase-time
+regression between two otherwise-identical manifests must be detected
+by ``repro-runs diff`` with a non-zero exit code.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.experiments import ExperimentDesign, StudyConfig, run_study
+from repro.experiments.optimum import clear_optimum_cache
+from repro.gpu.landscape import clear_landscape_memo
+from repro.obs.runs import (
+    build_manifest,
+    diff_runs,
+    list_runs,
+    load_run,
+    main as runs_main,
+    manifest_id,
+    record_run,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated():
+    clear_landscape_memo()
+    clear_optimum_cache()
+    yield
+    clear_landscape_memo()
+    clear_optimum_cache()
+
+
+def _study(tmp_path, **kwargs):
+    config = StudyConfig(
+        design=ExperimentDesign(sample_sizes=(25,), experiments_at_largest=2),
+        algorithms=("random_search",),
+        kernels=("add",),
+        archs=("titan_v",),
+        image_x=512,
+        image_y=512,
+        workers=1,
+    )
+    results = run_study(
+        config, landscape_cache=tmp_path / "cache", **kwargs
+    )
+    return config, results
+
+
+class TestManifest:
+    def test_build_manifest_contents(self, tmp_path):
+        config, results = _study(tmp_path)
+        manifest = build_manifest(
+            config, results, argv=["--kernels", "add"], created=1000.0
+        )
+        assert manifest["manifest_version"] == 1
+        assert manifest["argv"] == ["--kernels", "add"]
+        assert manifest["config"]["kernels"] == ["add"]
+        assert manifest["config"]["root_seed"] == config.root_seed
+        assert "add/titan_v" in manifest["fingerprints"]
+        assert manifest["environment"]["python"]
+        assert manifest["headline"]["experiments_total"] == 2
+        assert manifest["headline"]["experiments_failed"] == 0
+        assert isinstance(
+            manifest["headline"]["phase_seconds"], dict
+        )
+        assert manifest["run_id"] == manifest_id(manifest)
+
+    def test_run_id_is_content_addressed(self, tmp_path):
+        config, results = _study(tmp_path)
+        a = build_manifest(config, results, created=1000.0)
+        b = build_manifest(config, results, created=1000.0)
+        assert a["run_id"] == b["run_id"]
+        c = build_manifest(config, results, created=2000.0)
+        assert c["run_id"] != a["run_id"]
+
+    def test_run_study_records_into_ledger(self, tmp_path):
+        ledger = tmp_path / "ledger"
+        config, results = _study(tmp_path, run_ledger=ledger)
+        run_id = results.metadata["run_id"]
+        runs = list_runs(ledger)
+        assert [r["run_id"] for r in runs] == [run_id]
+        assert (ledger / f"{run_id}.json").exists()
+        assert results.metadata["run_manifest"].endswith(f"{run_id}.json")
+
+
+class TestLedgerIO:
+    def _manifest(self, run_id, created=1000.0, wall=10.0):
+        return {
+            "manifest_version": 1,
+            "created": created,
+            "config": {"root_seed": 1},
+            "fingerprints": {"add/titan_v": "abc"},
+            "headline": {
+                "wall_seconds": wall,
+                "experiments_failed": 0,
+                "phase_seconds": {"experiments": wall * 0.8},
+            },
+            "run_id": run_id,
+        }
+
+    def test_record_list_roundtrip_skips_torn_files(self, tmp_path):
+        ledger = tmp_path / "ledger"
+        record_run(ledger, self._manifest("aaa111", created=2.0))
+        record_run(ledger, self._manifest("bbb222", created=1.0))
+        (ledger / "torn.json").write_text('{"run_id": "cc')
+        runs = list_runs(ledger)
+        # Oldest first, torn file skipped.
+        assert [r["run_id"] for r in runs] == ["bbb222", "aaa111"]
+
+    def test_load_run_by_prefix_path_and_errors(self, tmp_path):
+        ledger = tmp_path / "ledger"
+        path = record_run(ledger, self._manifest("abc123"))
+        record_run(ledger, self._manifest("abd456"))
+        assert load_run(ledger, "abc")["run_id"] == "abc123"
+        assert load_run(ledger, str(path))["run_id"] == "abc123"
+        with pytest.raises(KeyError, match="ambiguous"):
+            load_run(ledger, "ab")
+        with pytest.raises(KeyError, match="no run"):
+            load_run(ledger, "zzz")
+
+
+class TestDiff:
+    def _baseline(self):
+        return {
+            "config": {"root_seed": 1, "kernels": ["add"]},
+            "fingerprints": {"add/titan_v": "abc"},
+            "headline": {
+                "wall_seconds": 100.0,
+                "experiments_failed": 0,
+                "replications_executed": 50,
+                "phase_seconds": {"experiments": 80.0, "optima": 10.0},
+            },
+            "run_id": "old000000000",
+        }
+
+    def test_identical_runs_have_no_regressions(self):
+        base = self._baseline()
+        report = diff_runs(base, copy.deepcopy(base))
+        assert report["comparable"]
+        assert report["regressions"] == []
+        assert report["changes"] == []
+
+    def test_injected_20pct_phase_regression_detected(self, tmp_path):
+        """Acceptance: a >=20% slower phase must flag and exit non-zero."""
+        base = self._baseline()
+        slow = copy.deepcopy(base)
+        slow["run_id"] = "new000000000"
+        slow["headline"]["phase_seconds"]["experiments"] = 80.0 * 1.25
+        slow["headline"]["wall_seconds"] = 120.0
+
+        report = diff_runs(base, slow)
+        assert any("phase experiments" in r for r in report["regressions"])
+
+        ledger = tmp_path / "ledger"
+        record_run(ledger, base)
+        record_run(ledger, slow)
+        rc = runs_main(["diff", str(ledger), "old0", "new0"])
+        assert rc == 1
+
+    def test_growth_within_tolerance_passes(self):
+        base = self._baseline()
+        ok = copy.deepcopy(base)
+        ok["headline"]["wall_seconds"] = 110.0  # +10% < 20% tolerance
+        ok["headline"]["phase_seconds"]["experiments"] = 88.0
+        assert diff_runs(base, ok)["regressions"] == []
+
+    def test_subsecond_noise_never_flags(self):
+        base = self._baseline()
+        base["headline"]["phase_seconds"]["optima"] = 0.01
+        noisy = copy.deepcopy(base)
+        noisy["headline"]["phase_seconds"]["optima"] = 0.1  # 10x but tiny
+        assert diff_runs(base, noisy)["regressions"] == []
+
+    def test_replication_growth_only_flags_when_comparable(self):
+        base = self._baseline()
+        worse = copy.deepcopy(base)
+        worse["headline"]["replications_executed"] = 60
+        report = diff_runs(base, worse)
+        assert any("replications_executed" in r for r in report["regressions"])
+
+        # Different config: more replications is a different workload.
+        other = copy.deepcopy(worse)
+        other["config"]["kernels"] = ["harris"]
+        report = diff_runs(base, other)
+        assert not report["comparable"]
+        assert any("config.kernels" in c for c in report["changes"])
+        assert not any(
+            "replications_executed" in r for r in report["regressions"]
+        )
+
+    def test_more_failed_cells_flags(self):
+        base = self._baseline()
+        worse = copy.deepcopy(base)
+        worse["headline"]["experiments_failed"] = 2
+        report = diff_runs(base, worse)
+        assert any("experiments_failed" in r for r in report["regressions"])
+
+
+class TestCli:
+    def test_list_and_show(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger"
+        record_run(ledger, {
+            "created": 1.0, "run_id": "abc123def456",
+            "headline": {"wall_seconds": 1.5, "experiments_total": 4,
+                         "experiments_failed": 0},
+        })
+        assert runs_main(["list", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "abc123def456" in out
+
+        assert runs_main(["show", str(ledger), "abc"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["run_id"] == "abc123def456"
+
+    def test_show_unknown_run_exits_2(self, tmp_path, capsys):
+        assert runs_main(["show", str(tmp_path), "nope"]) == 2
+
+    def test_diff_json_and_tolerance_flag(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger"
+        record_run(ledger, {
+            "created": 1.0, "run_id": "aaaaaaaaaaaa",
+            "config": {}, "fingerprints": {},
+            "headline": {"wall_seconds": 10.0},
+        })
+        record_run(ledger, {
+            "created": 2.0, "run_id": "bbbbbbbbbbbb",
+            "config": {}, "fingerprints": {},
+            "headline": {"wall_seconds": 13.0},
+        })
+        # +30% regresses at the default 20% tolerance...
+        assert runs_main(
+            ["diff", str(ledger), "aaaa", "bbbb", "--json"]
+        ) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["regressions"]
+        # ...but passes at 50%.
+        assert runs_main(
+            ["diff", str(ledger), "aaaa", "bbbb",
+             "--wall-tolerance", "50"]
+        ) == 0

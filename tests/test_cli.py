@@ -116,10 +116,13 @@ class TestMain:
                 "--failure-policy", "collect",
             ]
         )
-        assert rc == 0
+        # A collect-policy run that finishes with failed cells exits
+        # non-zero (3) so schedulers and CI notice partial studies.
+        assert rc == 3
         err = capsys.readouterr().err
-        assert "1 cells failed" in err
+        assert "FAILED CELLS: 1 of 2 cells failed" in err
         assert "random_search/add/titan_v/25/0" in err
+        assert "InjectedFailure" in err
 
     def test_status_goes_to_stderr_stdout_stays_pipeable(self, capsys):
         rc = main(
@@ -222,3 +225,84 @@ class TestObservabilityFlags:
         assert rc == 0
         svgs = list((tmp_path / "figs").glob("convergence_*.svg"))
         assert len(svgs) == 1
+
+
+class TestObservabilityV2Flags:
+    ARGS = [
+        "--algorithms", "random_search",
+        "--kernels", "add",
+        "--archs", "titan_v",
+        "--sample-sizes", "25",
+        "--experiments-at-largest", "2",
+        "--image-size", "512",
+        "--no-figures",
+    ]
+
+    def test_trace_level_spans_records_span_tree(self, tmp_path, capsys):
+        from repro.obs import build_span_forest, validate_trace_path
+        from repro.obs.read import iter_trace_events
+
+        trace = tmp_path / "trace"
+        rc = main(self.ARGS + [
+            "--trace-dir", str(trace), "--trace-level", "spans",
+        ])
+        assert rc == 0
+        assert validate_trace_path(trace) == []
+        events = list(iter_trace_events([trace]))
+        assert all(e["kind"] == "span" for e in events)
+        roots = build_span_forest(events)
+        assert [r.name for r in roots] == ["study"]
+        names = {c.subject for c in roots[0].children}
+        assert "experiments" in names
+
+    def test_profile_report_on_stderr(self, capsys):
+        rc = main(self.ARGS + ["--profile"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "profile:" in err
+        assert "experiments" in err
+
+    def test_profile_out_json(self, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        rc = main(self.ARGS + ["--profile-out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert "experiments" in doc["phases"]
+
+    def test_profile_out_svg_from_spans(self, tmp_path, capsys):
+        trace = tmp_path / "trace"
+        out = tmp_path / "flame.svg"
+        rc = main(self.ARGS + [
+            "--trace-dir", str(trace), "--trace-level", "spans",
+            "--profile-out", str(out),
+        ])
+        assert rc == 0
+        assert out.read_text().startswith("<svg")
+
+    def test_run_ledger_records_manifest(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger"
+        rc = main(self.ARGS + ["--run-ledger", str(ledger)])
+        assert rc == 0
+        manifests = list(ledger.glob("*.json"))
+        assert len(manifests) == 1
+        doc = json.loads(manifests[0].read_text())
+        assert doc["config"]["kernels"] == ["add"]
+        assert doc["argv"] == self.ARGS + ["--run-ledger", str(ledger)]
+        assert f"run {doc['run_id']}" in capsys.readouterr().err
+
+    def test_watch_without_sources_exits_2(self, tmp_path, capsys):
+        rc = main(["--watch"])
+        assert rc == 2
+        assert "--watch needs" in capsys.readouterr().err
+
+    def test_watch_completed_study(self, tmp_path, capsys):
+        ck = tmp_path / "ck.jsonl"
+        rc = main(self.ARGS + ["--checkpoint", str(ck)])
+        assert rc == 0
+        rc = main([
+            "--watch", "--checkpoint", str(ck), "--watch-interval", "0",
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "study complete" in err
+        assert "cells 2/2" in err
