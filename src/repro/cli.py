@@ -29,6 +29,7 @@ from .experiments import (
     StudyConfig,
     run_study,
 )
+from .io import atomic_write_text
 from .obs import MetricsRegistry
 from .parallel import TaskError
 from .gpu.arch import PAPER_ARCHITECTURES
@@ -339,12 +340,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.metrics_out:
         out = Path(args.metrics_out)
-        if out.parent and not out.parent.exists():
-            out.parent.mkdir(parents=True, exist_ok=True)
         if out.suffix == ".json":
-            out.write_text(registry.to_json_text())
+            atomic_write_text(out, registry.to_json_text())
         else:
-            out.write_text(registry.to_prometheus())
+            atomic_write_text(out, registry.to_prometheus())
         status(f"wrote metrics to {out}")
     if results.metadata.get("landscape_cache"):
         status(f"landscape tables in {results.metadata['landscape_cache']}")
@@ -365,12 +364,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs import render_profile
 
         out = Path(args.profile_out)
-        if out.parent and not out.parent.exists():
-            out.parent.mkdir(parents=True, exist_ok=True)
         if out.suffix == ".json":
-            out.write_text(
+            atomic_write_text(
+                out,
                 _json.dumps(profile_snapshot, indent=2, sort_keys=True)
-                + "\n"
+                + "\n",
             )
         elif out.suffix == ".svg":
             from .obs import build_span_forest
@@ -382,9 +380,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if args.trace_dir
                 else []
             )
-            out.write_text(flame_svg(build_span_forest(events)))
+            atomic_write_text(out, flame_svg(build_span_forest(events)))
         else:
-            out.write_text(render_profile(profile_snapshot) + "\n")
+            atomic_write_text(
+                out, render_profile(profile_snapshot) + "\n"
+            )
         status(f"wrote profile to {out}")
     if results.metadata.get("run_id"):
         status(
@@ -428,7 +428,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         for (kernel, arch), plot in conv_panels.items():
             path = Path(args.svg_dir) / f"convergence_{kernel}_{arch}.svg"
-            path.write_text(lineplot_svg(plot))
+            atomic_write_text(path, lineplot_svg(plot))
             written.append(path)
         status(f"wrote {len(written)} SVG files to {args.svg_dir}")
     return exit_code

@@ -159,7 +159,7 @@ def _space_feasible_mask(
     value-stable key and shared by every landscape scan over the space.
     """
     key = hashlib.sha256(
-        json.dumps(_space_descriptor(space), sort_keys=True, default=str)
+        json.dumps(_space_descriptor(space), sort_keys=True, default=str)  # repro: noqa[REP004] canonical form frozen at v1: adding separators= would change every deployed mask-cache key
         .encode()
     ).hexdigest()
     mask = _MASK_CACHE.get(key)

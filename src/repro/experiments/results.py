@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..io import atomic_write_text
 from ..stats import cles_smaller
 
 __all__ = ["ExperimentResult", "CellKey", "StudyResults"]
@@ -265,7 +266,7 @@ class StudyResults:
         return json.dumps(doc)
 
     def save(self, path) -> None:
-        Path(path).write_text(self.to_json())
+        atomic_write_text(path, self.to_json())
 
     @classmethod
     def from_json(cls, text: str) -> "StudyResults":

@@ -21,6 +21,7 @@ architecture lists.
 from __future__ import annotations
 
 import math
+import time
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
@@ -967,8 +968,16 @@ def run_study(
     if run_ledger is not None:
         from ..obs.runs import build_manifest, record_run
 
+        # The single true wall-clock boundary: the ledger records when
+        # the run really happened; everything downstream of this value
+        # is deterministic in it.
+        created = time.time()  # repro: noqa[REP002] run provenance needs real wall-clock time; build_manifest is deterministic in the threaded value
         manifest = build_manifest(
-            config, study_results, argv=run_argv, adaptive=adaptive
+            config,
+            study_results,
+            argv=run_argv,
+            adaptive=adaptive,
+            created=created,
         )
         manifest_path = record_run(run_ledger, manifest)
         # StudyResults copies the metadata dict, so annotate its copy.

@@ -45,6 +45,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..io import atomic_write_text, atomic_write_with
 from ..obs.metrics import global_registry
 from .arch import GpuArchitecture
 from .simulator import SIMULATOR_VERSION, simulate_runtimes
@@ -267,10 +268,7 @@ def _paths(cache_dir: Path, fingerprint: str) -> Tuple[Path, Path, Path]:
 
 
 def _atomic_save_array(path: Path, array: np.ndarray) -> None:
-    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-    with open(tmp, "wb") as fh:
-        np.save(fh, array)
-    os.replace(tmp, path)
+    atomic_write_with(path, lambda fh: np.save(fh, array))
 
 
 def save_landscape(
@@ -299,9 +297,9 @@ def save_landscape(
         "failures_file": failures_path.name,
         "identity": landscape_identity(profile, arch, table.space),
     }
-    tmp = sidecar.with_name(f"{sidecar.name}.{os.getpid()}.tmp")
-    tmp.write_text(json.dumps(doc, sort_keys=True, default=str, indent=1))
-    os.replace(tmp, sidecar)
+    atomic_write_text(
+        sidecar, json.dumps(doc, sort_keys=True, default=str, indent=1)
+    )
     return sidecar
 
 

@@ -1,0 +1,102 @@
+"""Atomic file-write helpers — the one blessed durable-write idiom.
+
+Every durable artifact this package writes (landscape-cache sidecars and
+arrays, run-ledger manifests, saved results, metrics exports, SVG
+reports) must be written *atomically*: content goes to a same-directory
+temporary file first and is moved over the destination with
+:func:`os.replace`, so a concurrent reader — or a reader after a crash —
+either sees the complete previous version or the complete new version,
+never a torn file.  The ``repro-lint`` rule REP003 enforces that no
+module outside this one opens a destination path for writing directly.
+
+The temporary file carries the writer's PID so concurrent writers from
+different pool workers never collide on the same temp name; the loser of
+the final rename race simply overwrites with identical content (all
+writers of a given cache entry produce the same bytes, by the
+determinism invariants).
+
+Append-only streams (trace JSONL, checkpoint JSONL) are a different
+idiom — they recover torn *lines*, not torn files — and are out of scope
+here.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, IO, Union
+
+__all__ = [
+    "atomic_write_text",
+    "atomic_write_bytes",
+    "atomic_write_with",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _tmp_path(path: Path) -> Path:
+    return path.with_name(f"{path.name}.{os.getpid()}.tmp")
+
+
+def _replace(tmp: Path, path: Path) -> None:
+    try:
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(
+    path: PathLike, text: str, encoding: str = "utf-8"
+) -> Path:
+    """Write ``text`` to ``path`` atomically; returns the final path.
+
+    Parent directories are created as needed.
+    """
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _tmp_path(path)
+    tmp.write_text(text, encoding=encoding)
+    _replace(tmp, path)
+    return path
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the final path."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _tmp_path(path)
+    tmp.write_bytes(data)
+    _replace(tmp, path)
+    return path
+
+
+def atomic_write_with(
+    path: PathLike, writer: Callable[[IO[bytes]], None]
+) -> Path:
+    """Stream into an atomic write via ``writer(binary_file_handle)``.
+
+    For producers that want a file object (``np.save``, incremental
+    serializers) rather than materialising the full payload in memory.
+    """
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _tmp_path(path)
+    try:
+        with open(tmp, "wb") as fh:
+            writer(fh)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    _replace(tmp, path)
+    return path

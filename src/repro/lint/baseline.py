@@ -1,0 +1,179 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the CI gate turn on *today* while pre-existing
+violations are burned down over time.  Rules of the file:
+
+* every entry **must** carry a non-empty ``justification`` — loading a
+  baseline with an unjustified entry is an error (exit 2), so nobody
+  can grandfather a finding silently;
+* entries match findings by ``(rule, path, code)`` where ``code`` is
+  the stripped source line — matching by content, not line number, so
+  unrelated edits that shift lines never resurrect a baselined finding;
+* duplicate source lines are handled as a multiset: an entry absorbs at
+  most as many findings as its ``count``;
+* entries that match nothing are reported as *stale* so the file shrinks
+  as violations are fixed (the self-check test keeps it honest).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+#: Placeholder written by ``--write-baseline``; entries still carrying
+#: it are rejected on load, which makes regeneration a deliberate,
+#: reviewed act rather than a silent reset.
+JUSTIFICATION_PLACEHOLDER = "TODO: justify this grandfathered finding"
+
+
+class BaselineError(ValueError):
+    """Malformed or unjustified baseline content."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    code: str
+    justification: str
+    count: int = 1
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.code)
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "code": self.code,
+            "count": self.count,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[BaselineEntry]]:
+        """Split findings into (new, ...) and report stale entries.
+
+        Returns ``(new_findings, stale_entries)``; a finding absorbed by
+        a baseline entry is dropped.
+        """
+        budget: Dict[Tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            budget[entry.key()] = budget.get(entry.key(), 0) + entry.count
+        used: Dict[Tuple[str, str, str], int] = {}
+        new: List[Finding] = []
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.code)
+            if used.get(key, 0) < budget.get(key, 0):
+                used[key] = used.get(key, 0) + 1
+            else:
+                new.append(finding)
+        # Attribute the absorbed findings to entries in file order; an
+        # entry whose quota is not fully consumed is stale.
+        remaining = dict(used)
+        stale: List[BaselineEntry] = []
+        for entry in self.entries:
+            key = entry.key()
+            absorbed = min(entry.count, remaining.get(key, 0))
+            remaining[key] = remaining.get(key, 0) - absorbed
+            if absorbed < entry.count:
+                stale.append(entry)
+        return new, stale
+
+    def to_json(self) -> dict:
+        return {
+            "version": BASELINE_VERSION,
+            "entries": [e.to_json() for e in self.entries],
+        }
+
+
+def load_baseline(path) -> Baseline:
+    """Load and validate a baseline file.
+
+    Raises :class:`BaselineError` on malformed JSON, a wrong version,
+    or any entry whose justification is empty or still the placeholder.
+    """
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        raise BaselineError(f"cannot read baseline {path}: {err}") from err
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path}: expected version {BASELINE_VERSION}"
+        )
+    entries: List[BaselineEntry] = []
+    unjustified: List[str] = []
+    for raw in doc.get("entries", []):
+        entry = BaselineEntry(
+            rule=str(raw.get("rule", "")),
+            path=str(raw.get("path", "")),
+            code=str(raw.get("code", "")),
+            justification=str(raw.get("justification", "")).strip(),
+            count=int(raw.get("count", 1)),
+        )
+        if (
+            not entry.justification
+            or entry.justification == JUSTIFICATION_PLACEHOLDER
+        ):
+            unjustified.append(f"{entry.rule} at {entry.path}: "
+                               f"{entry.code[:60]}")
+        entries.append(entry)
+    if unjustified:
+        raise BaselineError(
+            "baseline entries without a written justification:\n  "
+            + "\n  ".join(unjustified)
+        )
+    return Baseline(entries=entries)
+
+
+def write_baseline(findings: Sequence[Finding], path) -> Baseline:
+    """Generate a baseline from current findings (atomic write).
+
+    Every generated entry carries the justification placeholder, so the
+    freshly written file *fails* validation until a human replaces each
+    placeholder with a real reason — regeneration cannot silently
+    re-grandfather the world.
+    """
+    from ..io import atomic_write_text
+
+    grouped: Dict[Tuple[str, str, str], int] = {}
+    for finding in sorted(findings):
+        key = (finding.rule, finding.path, finding.code)
+        grouped[key] = grouped.get(key, 0) + 1
+    entries = [
+        BaselineEntry(
+            rule=rule,
+            path=fpath,
+            code=code,
+            justification=JUSTIFICATION_PLACEHOLDER,
+            count=count,
+        )
+        for (rule, fpath, code), count in sorted(grouped.items())
+    ]
+    baseline = Baseline(entries=entries)
+    atomic_write_text(
+        path,
+        json.dumps(baseline.to_json(), indent=2, sort_keys=True) + "\n",
+    )
+    return baseline

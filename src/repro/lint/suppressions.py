@@ -1,0 +1,68 @@
+"""Inline suppression comments: ``# repro: noqa[RULE,...] reason``.
+
+Policy: a suppression **must** carry a written justification.  A
+``# repro: noqa[REP002]`` with no trailing reason does *not* suppress —
+instead the engine reports REP000 (unjustified suppression) at that
+line, so the discipline is self-enforcing.
+
+A suppression applies to a finding when the comment sits on any physical
+line of the offending statement (multi-line calls included) and names
+the finding's rule.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Suppression", "parse_suppressions", "NOQA_RE"]
+
+NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>[A-Z0-9,\s]+)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed noqa comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.reason.strip())
+
+    def covers(self, rule_id: str) -> bool:
+        return self.justified and rule_id in self.rules
+
+
+def parse_suppressions(source: str) -> Dict[int, Suppression]:
+    """All noqa comments in ``source``, keyed by 1-based line number.
+
+    Comment scanning is line-based on purpose: a ``# repro: noqa`` can
+    only ever appear in a trailing comment, and tokenizing would reject
+    files the ast module happily parses.  A ``repro: noqa`` inside a
+    string literal on the same line as a finding would be misread as a
+    suppression — acceptable for a linter whose scope is this codebase.
+    """
+    out: Dict[int, Suppression] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "repro:" not in text or "noqa" not in text:
+            continue
+        match = NOQA_RE.search(text)
+        if not match:
+            continue
+        rules = tuple(
+            part.strip()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        out[lineno] = Suppression(
+            line=lineno,
+            rules=rules,
+            reason=match.group("reason").strip(" -\t"),
+        )
+    return out

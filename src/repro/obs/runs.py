@@ -52,6 +52,8 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from ..io import atomic_write_text
+
 __all__ = [
     "MANIFEST_VERSION",
     "build_manifest",
@@ -100,13 +102,18 @@ def build_manifest(
     results,
     argv: Optional[List[str]] = None,
     adaptive=None,
-    created: Optional[float] = None,
+    *,
+    created: float,
 ) -> dict:
     """Assemble one run's manifest from its config and results.
 
     ``config`` is the :class:`~repro.experiments.study.StudyConfig`,
     ``results`` the returned
-    :class:`~repro.experiments.results.StudyResults`.
+    :class:`~repro.experiments.results.StudyResults`.  ``created`` is
+    the creation timestamp (seconds since the epoch), threaded in
+    explicitly from the single wall-clock boundary in ``run_study`` so
+    manifest construction itself is deterministic and ledger tests can
+    pin it.
     """
     # Lazy: repro.gpu imports repro.obs at module level for metrics, so
     # importing it here (not at module import) keeps the package cycle-free.
@@ -151,9 +158,7 @@ def build_manifest(
 
     manifest = {
         "manifest_version": MANIFEST_VERSION,
-        "created": round(
-            created if created is not None else time.time(), 3
-        ),
+        "created": round(created, 3),
         "argv": list(argv) if argv is not None else None,
         "config": {
             "design": meta.get("design"),
@@ -193,18 +198,15 @@ def build_manifest(
 def record_run(ledger_dir, manifest: dict) -> Path:
     """Write one manifest into the ledger; returns its path.
 
-    Atomic (write-then-rename) so a concurrent ``repro-runs list`` never
-    sees a torn manifest, and content-addressed filenames mean a re-run
-    of an identical study overwrites its own manifest rather than
-    duplicating it.
+    Atomic (write-then-rename, via :func:`repro.io.atomic_write_text`)
+    so a concurrent ``repro-runs list`` never sees a torn manifest, and
+    content-addressed filenames mean a re-run of an identical study
+    overwrites its own manifest rather than duplicating it.
     """
-    ledger = Path(ledger_dir)
-    ledger.mkdir(parents=True, exist_ok=True)
-    path = ledger / f"{manifest['run_id']}.json"
-    tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-    os.replace(tmp, path)
-    return path
+    path = Path(ledger_dir) / f"{manifest['run_id']}.json"
+    return atomic_write_text(
+        path, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def list_runs(ledger_dir) -> List[dict]:

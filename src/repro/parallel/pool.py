@@ -148,7 +148,7 @@ def _picklable_error(exc: BaseException) -> BaseException:
     try:
         pickle.loads(pickle.dumps(exc))
         return exc
-    except Exception:  # noqa: BLE001 - any pickling failure
+    except Exception:  # repro: noqa[REP008] pickling probe: the original exc is re-described in the stand-in, so attribution survives
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
@@ -295,7 +295,7 @@ def _run_batch(
                 f"batch_fn returned {len(items)} entries for "
                 f"{len(batch)} tasks"
             )
-    except Exception:  # noqa: BLE001 - engine failure, not task failure
+    except Exception:  # repro: noqa[REP008] engine failure falls through to per-task execution, which attributes every error
         # The batch execution counts as each task's first attempt, so the
         # fallback runs report attempts >= 2 and retry metrics include
         # the attempt the broken engine consumed.

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..io import atomic_write_text
 from .heatmap import Heatmap
 from .lineplot import LinePlot
 
@@ -246,10 +247,10 @@ def save_figure_svg(figure, directory, fmt: str = "{:.1f}") -> List[Path]:
     written: List[Path] = []
     if isinstance(figure, LinePlot):
         path = directory / "figure.svg"
-        path.write_text(lineplot_svg(figure))
+        atomic_write_text(path, lineplot_svg(figure))
         return [path]
     for (kernel, arch), panel in figure.panels.items():
         path = directory / f"{figure.name}_{kernel}_{arch}.svg"
-        path.write_text(heatmap_svg(panel, fmt=fmt))
+        atomic_write_text(path, heatmap_svg(panel, fmt=fmt))
         written.append(path)
     return written

@@ -1,0 +1,11 @@
+# False positives REP001 must NOT flag: seeded, local generator state.
+import random
+
+import numpy as np
+
+
+def draw(rng):
+    ss = np.random.SeedSequence(entropy=7)
+    gen = np.random.default_rng(ss)
+    local = random.Random(1234)  # seeded instance, not global state
+    return gen.random(), rng.integers(10), local.random()

@@ -1,0 +1,13 @@
+# True positives for REP001: global-state RNG.
+# Linted under the pretend path src/repro/search/fixture.py.
+import random
+
+import numpy as np
+
+
+def draw():
+    np.random.seed(42)  # finding: global numpy seed
+    a = np.random.rand(3)  # finding: global numpy draw
+    b = random.random()  # finding: stdlib global RNG
+    random.shuffle([1, 2, 3])  # finding: stdlib global RNG
+    return a, b

@@ -1,0 +1,8 @@
+# False positives REP002 must NOT flag: durations and injected clocks.
+import time
+
+
+def measure(clock=time.time):  # a *reference* is fine — injectable
+    t0 = time.perf_counter()
+    t1 = time.monotonic()
+    return clock() - t0 + t1

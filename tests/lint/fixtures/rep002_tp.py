@@ -1,0 +1,11 @@
+# True positives for REP002: wall-clock reads in a deterministic path.
+# Linted under the pretend path src/repro/experiments/fixture.py.
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()  # finding: wall clock
+    nanos = time.time_ns()  # finding: wall clock
+    now = datetime.now()  # finding: wall clock
+    return started, nanos, now

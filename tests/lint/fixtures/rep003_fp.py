@@ -1,0 +1,24 @@
+# False positives REP003 must NOT flag: the atomic idiom, reads, appends.
+import json
+import os
+from pathlib import Path
+
+from repro.io import atomic_write_text
+
+
+def save_atomic_inline(path: Path, doc):
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(doc))  # temp file of the atomic idiom
+    os.replace(tmp, path)
+
+
+def save_via_helper(path: Path, doc):
+    atomic_write_text(path, json.dumps(doc))
+
+
+def read_and_append(path: Path):
+    text = path.read_text()
+    with open(path) as fh:  # read mode
+        fh.read()
+    with open(path, "a") as fh:  # append stream is a separate idiom
+        fh.write(text)

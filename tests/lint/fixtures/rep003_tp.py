@@ -1,0 +1,17 @@
+# True positives for REP003: in-place writes of durable artifacts.
+import json
+from pathlib import Path
+
+
+def save_results(path: Path, doc):
+    path.write_text(json.dumps(doc))  # finding: torn-file window
+
+
+def save_blob(path: Path, blob: bytes):
+    with open(path, "wb") as fh:  # finding: truncates in place
+        fh.write(blob)
+
+
+def save_new(path: Path, text):
+    with open(path, mode="x") as fh:  # finding: exclusive-create write
+        fh.write(text)

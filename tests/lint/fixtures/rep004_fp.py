@@ -1,0 +1,17 @@
+# False positives REP004 must NOT flag.
+import hashlib
+import json
+
+
+def cache_key(space):
+    # canonical: sorted keys + compact separators, directly hash-fed
+    return hashlib.sha256(
+        json.dumps(
+            space, sort_keys=True, separators=(",", ":"), default=str
+        ).encode()
+    ).hexdigest()
+
+
+def save_report(doc):
+    # not hash-fed, not a fingerprint context: ordering is cosmetic here
+    return json.dumps(doc, indent=2)

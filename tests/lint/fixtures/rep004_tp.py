@@ -1,0 +1,13 @@
+# True positives for REP004: non-canonical JSON feeding fingerprints.
+import hashlib
+import json
+
+
+def digest(doc):
+    # finding x2: hash-fed dumps without sort_keys and without separators
+    return hashlib.sha256(json.dumps(doc).encode()).hexdigest()
+
+
+def space_fingerprint(space):
+    # finding: fingerprint-context dumps without sort_keys
+    return json.dumps(space.descriptor())

@@ -1,0 +1,13 @@
+# False positives REP005 must NOT flag: sorted wrappers, aggregates.
+import json
+
+
+def emit(names, extra, d):
+    for name in sorted(set(names)):  # sorted restores determinism
+        print(name)
+    count = len(set(names))  # order-independent aggregate
+    present = "x" in set(names)  # containment, no iteration order
+    both = sorted(set(names) | set(extra))
+    payload = json.dumps(sorted(d.values()))
+    canon = json.dumps(d, sort_keys=True)
+    return count, present, both, payload, canon

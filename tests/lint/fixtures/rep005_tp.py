@@ -1,0 +1,12 @@
+# True positives for REP005: unordered iteration reaching ordered output.
+import json
+
+
+def emit(names, extra, d):
+    for name in set(names):  # finding: set iteration order
+        print(name)
+    rows = [n for n in set(names) | set(extra)]  # finding: set union
+    listed = list({1, 2, 3})  # finding: set literal into list
+    joined = ",".join(set(names))  # finding: join over a set
+    payload = json.dumps(list(d.values()))  # finding: dict view serialized
+    return rows, listed, joined, payload

@@ -1,0 +1,15 @@
+# False positives REP006 must NOT flag.
+from repro.parallel import ParallelMap
+
+
+def evaluate(task):  # module-level: pickles by qualified name
+    return task + 1
+
+
+def run_ok(pool, tasks):
+    return pool.run(evaluate, tasks)
+
+
+def unrelated_receiver(app, tasks):
+    # .run on a non-pool receiver is somebody else's API
+    return app.run(lambda t: t, tasks)

@@ -1,0 +1,16 @@
+# False positives REP007 must NOT flag.
+_REGISTRY = {}
+_REGISTRY["seeded"] = True  # import-time registration: pre-fork, fine
+
+_LIMIT = 5  # immutable global
+
+
+def local_state(items):
+    acc = {}
+    for item in items:
+        acc[item] = item  # local dict, not a module global
+    return acc
+
+
+def read_only(key):
+    return _REGISTRY.get(key, _LIMIT)

@@ -1,0 +1,15 @@
+# True positives for REP007: worker-side mutation of module globals.
+# Linted under the pretend path src/repro/experiments/fixture.py.
+_CACHE = {}
+_SEEN = []
+_IDS = set()
+
+
+def remember(key, value):
+    _CACHE[key] = value  # finding: item assignment on module global
+    _SEEN.append(key)  # finding: mutating method on module global
+    _IDS.add(key)  # finding: mutating method on module global
+
+
+def grow(key):
+    _CACHE[key] += 1  # finding: augmented item assignment

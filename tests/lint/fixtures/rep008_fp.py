@@ -1,0 +1,24 @@
+# False positives REP008 must NOT flag: narrow, bound, or re-raising.
+
+
+def narrow(task):
+    try:
+        return task.run()
+    except ValueError:
+        return None
+
+
+def bound_and_attributed(task, outcomes):
+    try:
+        return task.run()
+    except Exception as exc:
+        outcomes.append((task, exc))
+        return None
+
+
+def broad_but_reraises(task):
+    try:
+        return task.run()
+    except Exception:
+        task.teardown()
+        raise

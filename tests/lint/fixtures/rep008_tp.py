@@ -1,0 +1,22 @@
+# True positives for REP008: swallowed failure attribution.
+
+
+def swallow_everything(task):
+    try:
+        return task.run()
+    except:  # finding: bare except
+        return None
+
+
+def swallow_broad(task):
+    try:
+        return task.run()
+    except Exception:  # finding: broad, unbound, no re-raise
+        return None
+
+
+def swallow_tuple(task):
+    try:
+        return task.run()
+    except (ValueError, Exception):  # finding: tuple containing Exception
+        return None

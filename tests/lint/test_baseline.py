@@ -1,0 +1,117 @@
+"""Baseline round-trips, justification enforcement, drift tolerance."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    BaselineError,
+    Finding,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.baseline import (
+    BaselineEntry,
+    JUSTIFICATION_PLACEHOLDER,
+)
+
+
+def _finding(rule="REP002", path="src/repro/experiments/x.py",
+             line=10, code="t = time.time()"):
+    return Finding(
+        path=path, line=line, col=5, rule=rule,
+        message="msg", code=code, end_line=line,
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_load_filters_findings(self, tmp_path):
+        findings = [_finding(), _finding(rule="REP003", code="x.write_text(y)")]
+        path = tmp_path / "baseline.json"
+        write_baseline(findings, path)
+        # placeholder justifications must be filled in before loading
+        doc = json.loads(path.read_text())
+        for entry in doc["entries"]:
+            entry["justification"] = "grandfathered: tracked in #42"
+        path.write_text(json.dumps(doc))
+        baseline = load_baseline(path)
+        new, stale = baseline.filter(findings)
+        assert new == []
+        assert stale == []
+
+    def test_freshly_written_baseline_fails_validation(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([_finding()], path)
+        with pytest.raises(BaselineError, match="justification"):
+            load_baseline(path)
+
+    def test_placeholder_is_rejected_even_if_set_manually(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "rule": "REP002", "path": "a.py", "code": "x",
+                "justification": JUSTIFICATION_PLACEHOLDER,
+            }],
+        }))
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_malformed_and_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+
+class TestMatching:
+    def _baseline(self, *entries):
+        return Baseline(entries=list(entries))
+
+    def test_line_drift_does_not_resurrect(self):
+        baseline = self._baseline(BaselineEntry(
+            rule="REP002", path="src/repro/experiments/x.py",
+            code="t = time.time()", justification="ok",
+        ))
+        moved = _finding(line=99)  # same content, different line
+        new, stale = baseline.filter([moved])
+        assert new == []
+        assert stale == []
+
+    def test_different_code_is_a_new_finding(self):
+        baseline = self._baseline(BaselineEntry(
+            rule="REP002", path="src/repro/experiments/x.py",
+            code="t = time.time()", justification="ok",
+        ))
+        changed = _finding(code="u = time.time()")
+        new, _ = baseline.filter([changed])
+        assert new == [changed]
+
+    def test_count_bounds_duplicate_absorption(self):
+        baseline = self._baseline(BaselineEntry(
+            rule="REP002", path="src/repro/experiments/x.py",
+            code="t = time.time()", justification="ok", count=1,
+        ))
+        dup = [_finding(line=10), _finding(line=20)]
+        new, stale = baseline.filter(dup)
+        assert len(new) == 1  # only one absorbed
+        assert stale == []
+
+    def test_stale_entries_reported(self):
+        baseline = self._baseline(
+            BaselineEntry(
+                rule="REP002", path="src/repro/experiments/x.py",
+                code="t = time.time()", justification="ok",
+            ),
+            BaselineEntry(
+                rule="REP003", path="gone.py",
+                code="x.write_text(y)", justification="ok",
+            ),
+        )
+        new, stale = baseline.filter([_finding()])
+        assert new == []
+        assert [e.path for e in stale] == ["gone.py"]

@@ -1,0 +1,57 @@
+"""Self-check: the committed baseline gates ``src/repro`` at zero.
+
+This is the test CI's lint job mirrors — if it fails, either a new
+violation slipped in (fix it or justify a suppression) or a violation
+was fixed without pruning its baseline entry (remove the entry).
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths, load_baseline
+from repro.lint.baseline import JUSTIFICATION_PLACEHOLDER
+from repro.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "lint-baseline.json"
+
+
+def test_source_tree_is_clean_against_committed_baseline():
+    baseline = load_baseline(BASELINE)
+    result = lint_paths([SRC], relative_to=REPO_ROOT)
+    assert result.errors == []
+    new, stale = baseline.filter(result.findings)
+    assert new == [], [
+        f"{f.rule} {f.location()}: {f.message}" for f in new
+    ]
+    # the baseline must shrink as violations are fixed — no dead entries
+    assert stale == [], [
+        f"stale: {e.rule} {e.path}: {e.code}" for e in stale
+    ]
+
+
+def test_committed_baseline_entries_all_justified():
+    baseline = load_baseline(BASELINE)  # load_baseline enforces this too
+    for entry in baseline.entries:
+        assert entry.justification
+        assert entry.justification != JUSTIFICATION_PLACEHOLDER
+        # a justification is a sentence, not a token
+        assert len(entry.justification) > 20, entry
+
+
+def test_cli_gate_exits_zero(capsys):
+    code = main([
+        str(SRC),
+        "--baseline", str(BASELINE),
+        "--relative-to", str(REPO_ROOT),
+    ])
+    assert code == 0, capsys.readouterr().out
+
+
+def test_every_inline_suppression_has_a_reason():
+    # REP000 (reason-less noqa) must never appear in the tree: the
+    # self-check above would catch it as a new finding, but assert the
+    # stronger property directly for a clearer failure message.
+    result = lint_paths([SRC], relative_to=REPO_ROOT)
+    bare = [f for f in result.findings if f.rule == "REP000"]
+    assert bare == [], [f.location() for f in bare]

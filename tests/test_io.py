@@ -1,0 +1,60 @@
+"""repro.io atomic write helpers."""
+
+import os
+
+import pytest
+
+from repro.io import atomic_write_bytes, atomic_write_text, atomic_write_with
+
+
+class TestAtomicWriteText:
+    def test_writes_content_and_returns_path(self, tmp_path):
+        target = tmp_path / "out.json"
+        result = atomic_write_text(target, "hello\n")
+        assert result == target
+        assert target.read_text() == "hello\n"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(target, "x")
+        assert target.read_text() == "x"
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+
+class TestAtomicWriteBytes:
+    def test_round_trip(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"\x00\x01")
+        assert target.read_bytes() == b"\x00\x01"
+        assert os.listdir(tmp_path) == ["blob.bin"]
+
+
+class TestAtomicWriteWith:
+    def test_streaming_writer(self, tmp_path):
+        target = tmp_path / "stream.bin"
+        atomic_write_with(target, lambda fh: fh.write(b"abc"))
+        assert target.read_bytes() == b"abc"
+
+    def test_failing_writer_leaves_no_trace(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"intact")
+
+        def boom(fh):
+            fh.write(b"partial")
+            raise RuntimeError("writer died")
+
+        with pytest.raises(RuntimeError):
+            atomic_write_with(target, boom)
+        # destination untouched, temp file cleaned up
+        assert target.read_bytes() == b"intact"
+        assert os.listdir(tmp_path) == ["out.bin"]
