@@ -31,7 +31,7 @@ from .experiments import (
 )
 from .io import atomic_write_text
 from .obs import MetricsRegistry
-from .parallel import TaskError
+from .parallel import EXECUTOR_NAMES, TaskError
 from .gpu.arch import PAPER_ARCHITECTURES
 from .kernels import PAPER_KERNEL_NAMES
 from .reporting import (
@@ -81,6 +81,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=20220530)
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes (1 = serial)")
+    parser.add_argument(
+        "--executor", choices=list(EXECUTOR_NAMES), default=None,
+        help="transport backend for the experiments phase: serial "
+             "(inline, zero IPC), process (the classic pool), thread "
+             "(mmap-bound work), or socket (multi-node: a TCP "
+             "coordinator fed by `repro-worker connect HOST:PORT` "
+             "processes); default: auto (serial for --workers 1, else "
+             "process). Checkpoints are byte-identical across backends",
+    )
+    parser.add_argument(
+        "--bind", metavar="HOST:PORT", default=None,
+        help="with --executor socket: address to listen on (default "
+             "127.0.0.1:0, an ephemeral loopback port, announced at "
+             "startup)",
+    )
+    parser.add_argument(
+        "--min-workers", type=int, default=0, metavar="N",
+        help="with --executor socket: wait for N connected workers "
+             "before dispatching (default 0: start immediately, "
+             "workers join elastically)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="tasks per worker message (default: balanced automatic "
+             "chunking; replication groups never split regardless)",
+    )
     parser.add_argument("--paper-scale", action="store_true",
                         help="run the paper's full design (slow!)")
     parser.add_argument(
@@ -285,6 +311,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             profile=args.profile or bool(args.profile_out),
             run_ledger=args.run_ledger,
             run_argv=list(argv) if argv is not None else sys.argv[1:],
+            executor=args.executor,
+            executor_bind=args.bind,
+            min_workers=args.min_workers,
+            chunk_size=args.chunk_size,
         )
     except TaskError as err:
         cell = getattr(err.task, "cell_key", repr(err.task))

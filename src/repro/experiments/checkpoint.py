@@ -42,6 +42,16 @@ File format (one JSON object per line)::
   load, and trimmed from the file before the resumed run appends (so
   new lines are never glued onto the fragment); every complete line
   before it is recovered.
+
+Checkpoint bytes are a **cross-backend invariant**: lines are written
+parent-side in task-input order (the pool buffers out-of-order
+completions — see :meth:`repro.parallel.ParallelMap.run`), contain no
+timestamps, and deliberately exclude worker identity — which pid, node,
+or executor backend produced a result must never change the file.  The
+same study run serially, on a process pool, or sharded over N
+``repro-worker`` machines produces the identical checkpoint; per-node
+failure attribution lives in ``StudyResults.metadata["failed_cells"]``
+instead.
 """
 
 from __future__ import annotations
@@ -217,8 +227,22 @@ class StudyCheckpoint:
         self._fh.flush()
 
     def record_result(self, cell_key: str, result: ExperimentResult) -> None:
+        data = asdict(result)
+        metrics = data.get("metrics")
+        if isinstance(metrics, dict):
+            # Wall-clock histogram sums (evaluate_seconds_sum, model fit
+            # timings, …) vary run to run and backend to backend; the
+            # checkpoint keeps only deterministic metrics so the file is
+            # byte-identical across executors, worker counts, and
+            # machines.  The timing observability of *this* run still
+            # reaches the study registry through the in-memory result.
+            data["metrics"] = {
+                k: v
+                for k, v in metrics.items()
+                if not k.endswith("_seconds_sum")
+            }
         self._write_line(
-            {"kind": "result", "cell_key": cell_key, "data": asdict(result)}
+            {"kind": "result", "cell_key": cell_key, "data": data}
         )
         self.completed[cell_key] = result
 

@@ -8,8 +8,11 @@ repeats is the experiment's reported result.
 
 Everything here is a module-level function over a frozen, picklable
 :class:`ExperimentTask`, so the study orchestrator can fan experiments out
-across processes; per-experiment RNG streams are derived from the task's
-own key, making results independent of execution order and worker count.
+across processes — or across machines via the socket executor's
+``repro-worker`` processes, each opening its own fingerprint-validated
+landscape-table replica; per-experiment RNG streams are derived from the
+task's own key, making results independent of execution order, worker
+count, and work placement.
 
 Replications of the same study cell (tasks identical except for their
 ``experiment`` index and dataset rows) additionally batch:

@@ -40,7 +40,13 @@ from ..kernels import PAPER_KERNEL_NAMES, get_kernel
 from ..obs import NULL_TRACER, MetricsRegistry, global_registry, tracer_for_dir
 from ..obs.profile import PhaseProfiler
 from ..obs.spans import SpanContext, SpanScope, child_span
-from ..parallel import ParallelMap, RngFactory, TaskOutcome
+from ..parallel import (
+    EXECUTOR_NAMES,
+    ParallelMap,
+    RngFactory,
+    TaskOutcome,
+    make_executor,
+)
 from ..search import PAPER_ALGORITHM_NAMES, make_tuner
 from ..search.base import DatasetTuner
 from ..stats.bootstrap import bootstrap_halfwidth
@@ -494,6 +500,7 @@ def _run_adaptive(
                         "error_type": outcome.error_type,
                         "traceback": outcome.traceback,
                         "attempts": outcome.attempts,
+                        "node": outcome.node,
                     }
         for group in active:
             if group.replay_target is not None:
@@ -615,6 +622,10 @@ def run_study(
     profile: bool = False,
     run_ledger: Optional[object] = None,
     run_argv: Optional[List[str]] = None,
+    executor: Optional[str] = None,
+    executor_bind: Optional[str] = None,
+    min_workers: int = 0,
+    chunk_size: Optional[int] = None,
 ) -> StudyResults:
     """Run the full study described by ``config``.
 
@@ -710,6 +721,29 @@ def run_study(
     run_argv:
         The CLI argv to record in the run manifest (``None`` for
         programmatic invocations).
+    executor:
+        Transport backend for the experiments phase: ``"serial"``,
+        ``"process"``, ``"thread"``, or ``"socket"`` (see
+        :mod:`repro.parallel.executors`).  ``None`` (default) keeps the
+        historical auto-selection (inline for one worker, else a
+        process pool).  ``"socket"`` starts a TCP coordinator and
+        shards work across however many ``repro-worker connect``
+        processes attach — on this machine or others.  Checkpoint
+        files are byte-identical across every backend and worker
+        count.
+    executor_bind:
+        ``HOST:PORT`` for the socket coordinator (default
+        ``127.0.0.1:0``, an ephemeral loopback port; the resolved
+        address is announced via progress/telemetry).  Ignored by
+        other backends.
+    min_workers:
+        With the socket executor, block until this many workers have
+        connected before dispatching (default 0: start immediately and
+        let workers join elastically).
+    chunk_size:
+        Tasks per worker message (``None`` = balanced automatic
+        chunking; grouped dispatch never splits a replication group
+        regardless).
     """
     config.validate()
     if trace_level not in ("events", "spans", "full"):
@@ -722,6 +756,10 @@ def run_study(
             "adaptive replication requires compute_optima=True — the "
             "stopping rule is a CI on percent-of-optimum, which needs "
             "each landscape's true optimum"
+        )
+    if executor is not None and executor not in EXECUTOR_NAMES:
+        raise ValueError(
+            f"executor must be one of {EXECUTOR_NAMES}, got {executor!r}"
         )
     emit = print if progress is True else (progress or None)
     profiler = PhaseProfiler() if profile else None
@@ -814,12 +852,38 @@ def run_study(
                 parent=study_ctx,
             )
             exp_ctx = exp_span.ctx
+        executor_obj = None
+        if executor is not None:
+            executor_obj = make_executor(
+                executor,
+                workers=config.workers,
+                bind=executor_bind,
+                on_event=telemetry.line,
+            )
+            # The executor outlives every dispatch in the study (the
+            # socket coordinator keeps its workers across phases) and
+            # is torn down with the span stack.
+            span_stack.callback(executor_obj.close)
+            if executor == "socket":
+                telemetry.line(
+                    f"socket coordinator listening on "
+                    f"{executor_obj.address} — attach workers with: "
+                    f"repro-worker connect {executor_obj.address}"
+                )
+                if min_workers > 0:
+                    telemetry.line(
+                        f"waiting for {min_workers} worker(s)…"
+                    )
+                    executor_obj.wait_for_workers(min_workers)
+        telemetry.executor = executor
         pool = ParallelMap(
             workers=config.workers,
+            chunk_size=chunk_size,
             failure_policy=failure_policy,
             retries=retries,
             metrics=registry,
             span_context=exp_ctx,
+            executor=executor_obj,
         )
 
         adaptive_meta: Optional[dict] = None
@@ -859,9 +923,14 @@ def run_study(
             telemetry.start_tasks(
                 len(pending), skipped=len(tasks) - len(pending)
             )
+            if executor == "socket":
+                fleet = f"{executor_obj.worker_count()} socket worker(s)"
+            elif executor is not None:
+                fleet = f"the {executor} executor"
+            else:
+                fleet = f"{config.workers or 'all'} workers"
             telemetry.line(
-                f"running {len(pending)} experiments "
-                f"on {config.workers or 'all'} workers"
+                f"running {len(pending)} experiments on {fleet}"
             )
 
             def on_outcome(outcome: TaskOutcome) -> None:
@@ -915,6 +984,10 @@ def run_study(
                             "error_type": outcome.error_type,
                             "traceback": outcome.traceback,
                             "attempts": outcome.attempts,
+                            # Which machine produced the final failed
+                            # attempt (socket executor only) — metadata,
+                            # never checkpoint bytes.
+                            "node": outcome.node,
                         }
                     )
             total_cells = len(tasks)
@@ -952,6 +1025,7 @@ def run_study(
         "failed_cells": failed_cells,
         "resumed_from_checkpoint": resumed,
         "failure_policy": failure_policy,
+        "executor": executor,
         "batch_replications": batch_replications,
         "adaptive": adaptive_meta,
         "telemetry": telemetry.snapshot(),

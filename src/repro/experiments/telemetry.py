@@ -65,6 +65,9 @@ class StudyTelemetry:
         self.failed = 0
         self.skipped = 0
         self.total = 0
+        #: Executor backend name the study dispatched through
+        #: (``None`` = historical auto-selection).
+        self.executor: Optional[str] = None
         #: Adaptive-replication accounting (0 when adaptive mode is off).
         self.groups_stopped = 0
         self.replications_saved = 0
@@ -167,6 +170,7 @@ class StudyTelemetry:
             "total": self.total,
             "groups_stopped": self.groups_stopped,
             "replications_saved": self.replications_saved,
+            "executor": self.executor,
             "elapsed_seconds": round(self.elapsed, 3),
             "throughput_per_s": round(self.throughput(), 3),
             "eta_seconds": round(eta, 3) if eta is not None else None,

@@ -391,7 +391,12 @@ class UnorderedIterationRule(Rule):
 
 # -- REP006 ------------------------------------------------------------------
 
-_DISPATCH_METHODS = {"run": (0,), "run_grouped": (0, 1)}
+_DISPATCH_METHODS = {
+    "run": (0,),
+    "run_grouped": (0, 1),
+    # Executor-protocol dispatch ships fn over the same pickle boundary.
+    "submit_chunks": (0,),
+}
 _DISPATCH_KEYWORDS = ("fn", "batch_fn")
 
 
@@ -432,12 +437,14 @@ class UnpicklableCallableRule(Rule):
             return False
         receiver = func.value
         name = ctx.resolve(receiver) or ""
-        if "pool" in name.lower():
+        if "pool" in name.lower() or "executor" in name.lower():
             return True
-        return (
-            isinstance(receiver, ast.Call)
-            and (ctx.call_name(receiver) or "").endswith("ParallelMap")
-        )
+        if isinstance(receiver, ast.Call):
+            called = ctx.call_name(receiver) or ""
+            return called.endswith("ParallelMap") or called.endswith(
+                "make_executor"
+            )
+        return False
 
     def visit(self, node: ast.Call, ctx: ModuleContext) -> None:
         if not self._is_pool_dispatch(node, ctx):

@@ -169,6 +169,7 @@ def build_manifest(
             "root_seed": config.root_seed,
             "final_repeats": config.final_repeats,
             "workers": config.workers,
+            "executor": meta.get("executor"),
             "failure_policy": meta.get("failure_policy"),
             "batch_replications": meta.get("batch_replications"),
             "adaptive": (

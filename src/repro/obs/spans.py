@@ -217,6 +217,13 @@ class SpanNode:
         return int(pid) if pid is not None else None
 
     @property
+    def node(self) -> Optional[str]:
+        """Node name of the machine that ran this span (socket-executor
+        ``worker-chunk`` spans only; ``None`` for local execution)."""
+        node = self.event.get("node")
+        return str(node) if node is not None else None
+
+    @property
     def label(self) -> str:
         return f"{self.name} {self.subject}".strip()
 
@@ -273,11 +280,17 @@ def span_attribution(events: Iterable[dict]) -> dict:
         {"total_s": <study span duration or observed extent>,
          "phases": {"<subject>": {"wall_s", "cpu_s"}},
          "workers": {<pid>: {"busy_s", "cpu_s", "spans", "rss_kb_peak"}},
+         "nodes": {<node>: {"busy_s", "cpu_s", "spans"}},
          "study_pid": <pid of the study root span, if present>}
+
+    ``nodes`` aggregates socket-executor spans by machine (a node may
+    host many worker pids); it is empty for local-only traces.
     """
     spans = [e for e in events if e.get("kind") == "span"]
     phases: Dict[str, dict] = {}
     per_pid: Dict[int, dict] = {}
+    per_node: Dict[str, dict] = {}
+    node_intervals: Dict[str, List[Tuple[float, float]]] = {}
     intervals: Dict[int, List[Tuple[float, float]]] = {}
     study_pid = None
     total = 0.0
@@ -298,6 +311,15 @@ def span_attribution(events: Iterable[dict]) -> dict:
             )
             entry["wall_s"] += dur
             entry["cpu_s"] += cpu
+        node = doc.get("node")
+        if node is not None:
+            node = str(node)
+            nstats = per_node.setdefault(
+                node, {"busy_s": 0.0, "cpu_s": 0.0, "spans": 0}
+            )
+            nstats["spans"] += 1
+            nstats["cpu_s"] += cpu
+            node_intervals.setdefault(node, []).append((start, start + dur))
         pid = doc.get("pid")
         if pid is None:
             continue
@@ -313,6 +335,8 @@ def span_attribution(events: Iterable[dict]) -> dict:
         intervals.setdefault(pid, []).append((start, start + dur))
     for pid, ivals in intervals.items():
         per_pid[pid]["busy_s"] = round(_union_seconds(ivals), 6)
+    for node, ivals in node_intervals.items():
+        per_node[node]["busy_s"] = round(_union_seconds(ivals), 6)
     if not total and hi > lo:
         total = hi - lo
     return {
@@ -328,6 +352,14 @@ def span_attribution(events: Iterable[dict]) -> dict:
                 "busy_s": round(stats["busy_s"], 6),
             }
             for pid, stats in sorted(per_pid.items())
+        },
+        "nodes": {
+            node: {
+                **stats,
+                "cpu_s": round(stats["cpu_s"], 6),
+                "busy_s": round(stats["busy_s"], 6),
+            }
+            for node, stats in sorted(per_node.items())
         },
         "study_pid": study_pid,
     }
@@ -350,6 +382,8 @@ def render_span_tree(
             detail += f" cpu {node.cpu_s:.3f}s"
         if node.pid is not None:
             detail += f" [pid {node.pid}]"
+        if node.node is not None:
+            detail += f" [node {node.node}]"
         lines.append(f"{prefix}{connector}{node.label}  {detail}")
         child_prefix = prefix + ("   " if is_last else "│  ")
         if depth == 0:

@@ -1,7 +1,14 @@
-"""Reproducible RNG streams and process-parallel experiment execution."""
+"""Reproducible RNG streams and parallel experiment execution."""
 
+from .executors import (
+    EXECUTOR_NAMES,
+    ExecutionSettings,
+    Executor,
+    make_executor,
+)
 from .pool import (
     DEFAULT_RETRYABLE,
+    NODE_ID_ENV,
     ParallelMap,
     TaskError,
     TaskFailure,
@@ -21,4 +28,9 @@ __all__ = [
     "TransientError",
     "DEFAULT_RETRYABLE",
     "default_worker_count",
+    "Executor",
+    "ExecutionSettings",
+    "make_executor",
+    "EXECUTOR_NAMES",
+    "NODE_ID_ENV",
 ]

@@ -1,0 +1,201 @@
+"""The executor protocol: transport-agnostic dispatch of work units.
+
+:class:`~repro.parallel.pool.ParallelMap` owns execution *policy* —
+chunking, grouping, retries, failure policy, metrics, and the in-input-
+order delivery of outcomes that checkpoint byte-identity rests on.  An
+:class:`Executor` owns only *transport*: ship a picklable
+:class:`WorkUnit` somewhere, run its entry point, stream a
+:class:`UnitResult` back.  Four backends implement the seam:
+
+* ``serial`` — inline in the caller, zero IPC (``inline = True``),
+* ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor`,
+* ``thread`` — a thread pool, for mmap-bound NumPy work that releases
+  the GIL,
+* ``socket`` — a TCP coordinator feeding ``repro-worker`` processes on
+  any number of machines.
+
+Every backend runs the **same** worker entry points
+(:func:`~repro.parallel.pool._run_chunk` /
+:func:`~repro.parallel.pool._run_batches`), so retry, backoff, span and
+per-task attribution semantics are identical everywhere; only where the
+bytes travel differs.  Results therefore cannot depend on the backend —
+per-cell RNG is derived from task keys, never from execution placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+from ..pool import TaskOutcome, _run_batches, _run_chunk
+
+__all__ = ["ExecutionSettings", "WorkUnit", "UnitResult", "Executor"]
+
+
+@dataclass(frozen=True)
+class ExecutionSettings:
+    """Per-dispatch knobs threaded into the worker entry points."""
+
+    retries: int = 0
+    backoff: float = 0.05
+    backoff_cap: float = 2.0
+    retryable: Tuple[Type[BaseException], ...] = ()
+    #: Opaque :class:`~repro.obs.spans.SpanContext` parent (or ``None``).
+    span_context: Any = None
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One shippable message: an entry point plus its arguments.
+
+    ``members`` lists the ``(task_index, task)`` pairs the unit covers,
+    so an infrastructure failure (broken pool, dead worker, unpicklable
+    payload) can still be attributed to every task it took down.
+    """
+
+    uid: int
+    entry: Callable[..., List[TaskOutcome]]
+    payload: tuple
+    members: Tuple[Tuple[int, Any], ...]
+
+
+@dataclass
+class UnitResult:
+    """What came back for one :class:`WorkUnit`.
+
+    Either ``outcomes`` (per-task attribution, produced worker-side) or
+    ``error``/``traceback`` when the unit itself failed in transit —
+    the caller then synthesizes failed outcomes for every member.
+    ``node`` names the worker that ran the unit, when the backend knows
+    (the socket executor always does).
+    """
+
+    unit: WorkUnit
+    outcomes: Optional[List[TaskOutcome]] = None
+    error: Optional[BaseException] = None
+    traceback: str = ""
+    node: Optional[str] = None
+
+
+class Executor:
+    """Abstract transport backend.  Subclasses implement :meth:`submit`.
+
+    The two concrete dispatch methods mirror the two shapes
+    :class:`~repro.parallel.pool.ParallelMap` produces: plain index
+    chunks (:meth:`submit_chunks`) and grouped batch messages
+    (:meth:`run_grouped`).  Both build :class:`WorkUnit` records around
+    the shared worker entry points and delegate transport to
+    :meth:`submit`, which yields :class:`UnitResult` records in
+    **completion order** — the pool re-orders them for delivery.
+    """
+
+    #: Factory name (``make_executor`` key), e.g. ``"process"``.
+    name = "base"
+    #: ``True``: units run inline in the caller — no pickling, no worker
+    #: spans, lazy (a unit is only executed when its result is pulled,
+    #: so fail-fast stops downstream work immediately).
+    inline = False
+
+    # -- sizing ---------------------------------------------------------------
+    def worker_count(self) -> int:
+        """Workers currently available (1 for inline backends)."""
+        return 1
+
+    def parallelism(self) -> int:
+        """Concurrency to size chunks for (never less than 1)."""
+        return max(1, self.worker_count())
+
+    # -- dispatch -------------------------------------------------------------
+    def submit_chunks(
+        self,
+        fn: Callable[[Any], Any],
+        chunks: Sequence[Tuple[int, Sequence[Any]]],
+        settings: ExecutionSettings,
+    ) -> Iterator[UnitResult]:
+        """Dispatch ``(start_index, tasks)`` chunks through ``fn``."""
+        units = [
+            WorkUnit(
+                uid=uid,
+                entry=_run_chunk,
+                payload=(
+                    fn, start, list(chunk), settings.retries,
+                    settings.backoff, settings.backoff_cap,
+                    settings.retryable, settings.span_context,
+                ),
+                members=tuple(
+                    (start + i, task) for i, task in enumerate(chunk)
+                ),
+            )
+            for uid, (start, chunk) in enumerate(chunks)
+        ]
+        return self.submit(units)
+
+    def run_grouped(
+        self,
+        fn: Callable[[Any], Any],
+        batch_fn: Callable[[Sequence[Any]], Sequence[Any]],
+        messages: Sequence[Sequence[Tuple[Sequence[int], Sequence[Any]]]],
+        settings: ExecutionSettings,
+    ) -> Iterator[UnitResult]:
+        """Dispatch grouped batch messages through ``batch_fn``.
+
+        Each message is a list of ``(indices, batch)`` pairs — whole
+        replication groups, packed by the pool so no group ever splits
+        across workers.
+        """
+        units = [
+            WorkUnit(
+                uid=uid,
+                entry=_run_batches,
+                payload=(
+                    fn, batch_fn, [
+                        (list(indices), list(batch))
+                        for indices, batch in message
+                    ],
+                    settings.retries, settings.backoff,
+                    settings.backoff_cap, settings.retryable,
+                    settings.span_context,
+                ),
+                members=tuple(
+                    (index, task)
+                    for indices, batch in message
+                    for index, task in zip(indices, batch)
+                ),
+            )
+            for uid, message in enumerate(messages)
+        ]
+        return self.submit(units)
+
+    def submit(self, units: Iterable[WorkUnit]) -> Iterator[UnitResult]:
+        """Run every unit; yield results as they complete.
+
+        The returned iterator must tolerate early ``close()`` (the pool
+        breaks out under fail-fast): pending work is cancelled or
+        abandoned, never left corrupting shared state.
+        """
+        raise NotImplementedError
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+
+    def drain_counters(self) -> Dict[str, float]:
+        """Pop accumulated backend counters (metric name -> increment)."""
+        return {}
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

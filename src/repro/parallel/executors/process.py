@@ -1,0 +1,85 @@
+"""Single-host pool executors: process (the classic) and thread.
+
+:class:`ProcessExecutor` is the historical ``ParallelMap`` behavior
+refactored onto the :class:`~repro.parallel.executors.base.Executor`
+seam: one :class:`concurrent.futures.ProcessPoolExecutor` per dispatch,
+units pickled across the fork/spawn boundary, results yielded in
+completion order.  :class:`ThreadExecutor` swaps in a thread pool for
+workloads dominated by mmap-backed NumPy fancy-indexing (landscape-table
+scans), where the heavy loops release the GIL and process spin-up plus
+task pickling is the larger cost.
+"""
+
+from __future__ import annotations
+
+import traceback as _traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Iterable, Iterator, Optional
+
+from ..pool import default_worker_count
+from .base import Executor, UnitResult, WorkUnit
+
+__all__ = ["ProcessExecutor", "ThreadExecutor"]
+
+
+class ProcessExecutor(Executor):
+    """Ship units to a per-dispatch :class:`ProcessPoolExecutor`."""
+
+    name = "process"
+    _pool_factory = ProcessPoolExecutor
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = (
+            default_worker_count() if workers is None else max(1, workers)
+        )
+
+    def worker_count(self) -> int:
+        return self.workers
+
+    def submit(self, units: Iterable[WorkUnit]) -> Iterator[UnitResult]:
+        units = list(units)
+        with self._pool_factory(max_workers=self.workers) as pool:
+            by_future = {
+                pool.submit(unit.entry, *unit.payload): unit
+                for unit in units
+            }
+            pending = set(by_future)
+            try:
+                while pending:
+                    done, pending = wait(
+                        pending, return_when=FIRST_COMPLETED
+                    )
+                    for fut in done:
+                        unit = by_future[fut]
+                        try:
+                            outcomes = fut.result()
+                        except Exception as exc:  # noqa: BLE001
+                            # Infrastructure failure (broken pool,
+                            # unpicklable payload/result): surfaced as a
+                            # unit-level error for member attribution.
+                            yield UnitResult(
+                                unit=unit,
+                                error=exc,
+                                traceback=_traceback.format_exc(),
+                            )
+                        else:
+                            yield UnitResult(
+                                unit=unit, outcomes=list(outcomes)
+                            )
+            finally:
+                # Early generator close (fail-fast): drop queued work;
+                # the pool context waits out in-flight futures.
+                for fut in pending:
+                    fut.cancel()
+
+
+class ThreadExecutor(ProcessExecutor):
+    """Same dispatch over an in-process thread pool (no pickling)."""
+
+    name = "thread"
+    _pool_factory = ThreadPoolExecutor

@@ -1,15 +1,15 @@
-"""Process-pool execution of embarrassingly parallel experiment cells.
+"""Parallel execution of embarrassingly parallel experiment cells.
 
 The paper's study is a large cross-product of independent experiments
 (Section VII: ~3 million kernel samples).  Each cell is pure —
 ``f(task) -> result`` with reproducible per-cell RNG — so the study
-parallelizes trivially across processes.  This module provides a small
-wrapper over :mod:`concurrent.futures` that
+parallelizes trivially.  :class:`ParallelMap` is the *policy* layer:
 
-* runs serially for ``workers <= 1`` (or a single task) — no process
-  spawning, no pickling, easy debugging,
-* preserves input order in the output,
-* chunks tasks to amortize pickling overhead,
+* preserves input order in the output **and** in ``on_outcome`` hook
+  delivery (outcomes buffer until their input-order turn), so
+  checkpoint files are byte-identical across every backend and worker
+  count,
+* chunks tasks to amortize per-message overhead,
 * captures a **per-task outcome** (result, or exception + traceback
   string) inside the worker, so a failure is always attributed to the
   exact task that raised — never to an innocent chunk-mate,
@@ -19,6 +19,14 @@ wrapper over :mod:`concurrent.futures` that
 * optionally retries tasks that raise *transient* errors with capped
   exponential backoff.
 
+*Transport* is delegated to a pluggable
+:class:`~repro.parallel.executors.Executor` backend — ``serial``
+(inline, zero IPC), ``process`` (the classic pool), ``thread``
+(mmap-bound NumPy work that releases the GIL), or ``socket``
+(multi-node via ``repro-worker``).  With no explicit backend the pool
+auto-selects: inline for ``workers == 1`` or a single task, otherwise
+the process pool — the historical behavior.
+
 Per the mpi4py/HPC guidance this library follows, only picklable,
 coarse-grained work units are shipped to workers; all numeric inner loops
 stay vectorized inside a single process.
@@ -26,13 +34,13 @@ stay vectorized inside a single process.
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 import time
 import traceback as _traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Type
 
 __all__ = [
     "ParallelMap",
@@ -51,14 +59,30 @@ __all__ = [
 DEFAULT_GROUP_BATCH = 64
 
 
+#: Environment variable naming the node an outcome was produced on —
+#: exported by ``repro-worker`` so worker-side entry points can stamp
+#: outcomes and ``worker-chunk`` spans with their machine's identity.
+NODE_ID_ENV = "REPRO_NODE_ID"
+
+
 def default_worker_count() -> int:
-    """Worker count: ``REPRO_WORKERS`` env var, else CPU count (min 1)."""
+    """Worker count: ``REPRO_WORKERS`` env var, else the CPU *affinity*
+    mask size, else CPU count (min 1).
+
+    The affinity mask matters in containers and batch schedulers: a CI
+    job pinned to 2 of a 64-core host must not fork 64 workers —
+    oversubscription there serializes through the cpuset and thrashes.
+    """
     env = os.environ.get("REPRO_WORKERS")
     if env:
         try:
             return max(1, int(env))
         except ValueError:
             pass
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        pass
     return max(1, os.cpu_count() or 1)
 
 
@@ -113,6 +137,11 @@ class TaskOutcome:
     traceback: str = ""
     #: Number of attempts made (1 = first try succeeded or no retries).
     attempts: int = 1
+    #: Node that produced this outcome (``REPRO_NODE_ID``), for
+    #: per-machine failure attribution under the socket executor.
+    #: ``None`` for local execution.  Never written to checkpoints —
+    #: checkpoint bytes must not depend on work placement.
+    node: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -191,6 +220,23 @@ def _run_one(
             )
 
 
+def _stamp_node(outcomes: List[TaskOutcome]) -> List[TaskOutcome]:
+    """Mark outcomes with this worker's node identity, when it has one."""
+    node = os.environ.get(NODE_ID_ENV)
+    if node:
+        for outcome in outcomes:
+            outcome.node = node
+    return outcomes
+
+
+def _span_fields(**fields: Any) -> dict:
+    """``worker-chunk`` span fields, node identity included when known."""
+    node = os.environ.get(NODE_ID_ENV)
+    if node:
+        fields["node"] = node
+    return fields
+
+
 def _run_chunk(
     fn: Callable[[Any], Any],
     start: int,
@@ -206,7 +252,8 @@ def _run_chunk(
     ``span_context`` is an opaque parent handle
     (:class:`repro.obs.spans.SpanContext`); when set, the whole chunk is
     wrapped in a ``worker-chunk`` span so the span-tree reader can
-    attribute wall time to this worker process.
+    attribute wall time to this worker process (and, under the socket
+    executor, to its node).
     """
     if span_context is not None:
         from ..obs.spans import child_span
@@ -215,17 +262,17 @@ def _run_chunk(
             span_context,
             "worker-chunk",
             subject=f"tasks[{start}:{start + len(chunk)}]",
-            tasks=len(chunk),
+            **_span_fields(tasks=len(chunk)),
         ):
-            return [
+            return _stamp_node([
                 _run_one(fn, start + i, task, retries, backoff,
                          backoff_cap, retryable)
                 for i, task in enumerate(chunk)
-            ]
-    return [
+            ])
+    return _stamp_node([
         _run_one(fn, start + i, task, retries, backoff, backoff_cap, retryable)
         for i, task in enumerate(chunk)
-    ]
+    ])
 
 
 def _finish_failed(
@@ -335,7 +382,7 @@ def _run_batches(
             span_context,
             "worker-chunk",
             subject=f"{len(batches)} batches, {n_tasks} tasks",
-            tasks=n_tasks,
+            **_span_fields(tasks=n_tasks),
         ):
             return _run_batches(
                 fn, batch_fn, batches, retries, backoff, backoff_cap,
@@ -347,7 +394,7 @@ def _run_batches(
             _run_batch(fn, batch_fn, indices, batch, retries, backoff,
                        backoff_cap, retryable)
         )
-    return out
+    return _stamp_node(out)
 
 
 class ParallelMap:
@@ -358,9 +405,21 @@ class ParallelMap:
     workers:
         Number of worker processes.  ``None`` -> :func:`default_worker_count`;
         ``1`` -> serial in-process execution (no pickling, easy debugging).
+    executor:
+        Transport backend: an :class:`~repro.parallel.executors.Executor`
+        instance, a factory name (``"serial"``, ``"process"``,
+        ``"thread"``, ``"socket"``), or ``None`` (default) for the
+        historical auto-selection — inline execution when ``workers ==
+        1`` or there is a single task, otherwise a process pool.  A
+        passed-in instance is *not* closed by the pool (the caller owns
+        its lifecycle, e.g. a socket coordinator serving a whole study);
+        name-built and auto-selected backends are per-dispatch and
+        closed by the pool.
     chunk_size:
-        Tasks per inter-process message.  ``None`` -> balanced chunks
-        (about 4 chunks per worker).
+        Tasks per worker message.  ``None`` -> balanced chunks (about 4
+        chunks per unit of executor parallelism); grouped dispatch
+        additionally floors the target by the largest batch so no
+        replication group ever splits across messages.
     failure_policy:
         ``"fail_fast"`` (default): :meth:`run` raises :class:`TaskError`
         naming the exact failing task as soon as its failure is observed.
@@ -401,6 +460,7 @@ class ParallelMap:
         retryable: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE,
         metrics: Optional[object] = None,
         span_context: Optional[object] = None,
+        executor: Optional[object] = None,
     ) -> None:
         if failure_policy not in ("fail_fast", "collect"):
             raise ValueError(
@@ -408,6 +468,7 @@ class ParallelMap:
                 f"got {failure_policy!r}"
             )
         self.workers = default_worker_count() if workers is None else max(1, workers)
+        self.executor = executor
         self.chunk_size = chunk_size
         self.failure_policy = failure_policy
         self.retries = max(0, int(retries))
@@ -439,11 +500,13 @@ class ParallelMap:
     ) -> List[TaskOutcome]:
         """Apply ``fn`` to every task; outcomes in input order.
 
-        ``on_outcome`` is called in the parent process as each outcome
-        becomes available (completion order, not input order) — the hook
-        checkpointing and telemetry build on.  Under ``"fail_fast"`` the
-        first failure raises :class:`TaskError` after the hook has seen
-        every outcome observed so far.
+        ``on_outcome`` is called in the parent process in **input
+        order** — outcomes that complete early buffer until their turn —
+        so hook-driven side effects (checkpoint lines, telemetry) are
+        byte-identical across every backend and worker count.  Under
+        ``"fail_fast"`` the raised :class:`TaskError` names the
+        lowest-index failing task, and the hook has seen exactly the
+        outcomes before it plus the failure itself.
         """
         return self._execute(
             fn,
@@ -453,6 +516,49 @@ class ParallelMap:
         )
 
     # -- execution ------------------------------------------------------------
+    def _resolve_executor(self, n_tasks: int) -> Tuple[Any, bool]:
+        """The transport to use and whether this dispatch owns it.
+
+        ``executor=None`` preserves the historical auto-selection:
+        inline for ``workers == 1`` or a single task (no pickling, so
+        closures work), otherwise a process pool.
+        """
+        executor = self.executor
+        if executor is None:
+            from .executors import ProcessExecutor, SerialExecutor
+
+            if self.workers == 1 or n_tasks == 1:
+                return SerialExecutor(), True
+            return ProcessExecutor(self.workers), True
+        if isinstance(executor, str):
+            from .executors import make_executor
+
+            return make_executor(executor, workers=self.workers), True
+        return executor, False
+
+    def _settings(self, inline: bool) -> Any:
+        """Dispatch settings; inline backends never emit worker spans
+        (there is no worker process to attribute time to)."""
+        from .executors import ExecutionSettings
+
+        return ExecutionSettings(
+            retries=self.retries,
+            backoff=self.backoff,
+            backoff_cap=self.backoff_cap,
+            retryable=self.retryable,
+            span_context=None if inline else self.span_context,
+        )
+
+    def _merge_counters(self, executor: Any) -> None:
+        """Fold backend transport counters into the metrics registry."""
+        counters = executor.drain_counters()
+        if self.metrics is None or not counters:
+            return
+        for name, value in sorted(counters.items()):
+            self.metrics.counter(
+                name, help="Executor transport counter."
+            ).inc(value)
+
     def _execute(
         self,
         fn: Callable[[Any], Any],
@@ -463,14 +569,40 @@ class ParallelMap:
         tasks = list(tasks)
         if not tasks:
             return []
-        if self.metrics is not None:
-            self.metrics.gauge(
-                "pool_workers", help="Worker processes of the last pool run."
-            ).set(self.workers)
-            on_outcome = self._metered(on_outcome)
-        if self.workers == 1 or len(tasks) == 1:
-            return self._execute_serial(fn, tasks, fail_fast, on_outcome)
-        return self._execute_parallel(fn, tasks, fail_fast, on_outcome)
+        executor, owned = self._resolve_executor(len(tasks))
+        try:
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "pool_workers",
+                    help="Worker processes of the last pool run.",
+                ).set(
+                    executor.parallelism()
+                    if self.executor is not None
+                    else self.workers
+                )
+                on_outcome = self._metered(on_outcome)
+            if executor.inline:
+                # One task per unit: lazy pull = true serial semantics
+                # (a fail-fast abort never runs the tasks behind it).
+                chunks = [(i, [task]) for i, task in enumerate(tasks)]
+            else:
+                chunk = self.chunk_size or max(
+                    1, math.ceil(len(tasks) / (executor.parallelism() * 4))
+                )
+                chunks = [
+                    (i, tasks[i : i + chunk])
+                    for i in range(0, len(tasks), chunk)
+                ]
+            stream = executor.submit_chunks(
+                fn, chunks, self._settings(executor.inline)
+            )
+            return self._drain_stream(
+                stream, fail_fast, on_outcome, len(tasks)
+            )
+        finally:
+            self._merge_counters(executor)
+            if owned:
+                executor.close()
 
     def _metered(
         self, on_outcome: Optional[Callable[[TaskOutcome], None]]
@@ -497,103 +629,74 @@ class ParallelMap:
 
         return record
 
-    def _execute_serial(
-        self,
-        fn: Callable[[Any], Any],
-        tasks: List[Any],
-        fail_fast: bool,
-        on_outcome: Optional[Callable[[TaskOutcome], None]],
-    ) -> List[TaskOutcome]:
-        outcomes: List[TaskOutcome] = []
-        for i, task in enumerate(tasks):
-            outcome = _run_one(
-                fn, i, task, self.retries, self.backoff, self.backoff_cap,
-                self.retryable,
-            )
-            outcomes.append(outcome)
-            if on_outcome is not None:
-                on_outcome(outcome)
-            if fail_fast and not outcome.ok:
-                raise TaskError(
-                    outcome.task, outcome.error, outcome.traceback
-                ) from outcome.error
-        return outcomes
+    @staticmethod
+    def _unit_outcomes(result: Any) -> List[TaskOutcome]:
+        """Per-task outcomes for one unit result.
 
-    def _execute_parallel(
-        self,
-        fn: Callable[[Any], Any],
-        tasks: List[Any],
-        fail_fast: bool,
-        on_outcome: Optional[Callable[[TaskOutcome], None]],
-    ) -> List[TaskOutcome]:
-        chunk = self.chunk_size or max(1, len(tasks) // (self.workers * 4))
-        spans = [
-            (i, tasks[i : i + chunk]) for i in range(0, len(tasks), chunk)
+        A unit that failed in transit (broken pool, dead worker,
+        unpicklable payload/result) has no worker-side attribution, so
+        every member task is marked failed with the unit-level error.
+        """
+        if result.outcomes is not None:
+            return result.outcomes
+        exc = result.error
+        return [
+            TaskOutcome(
+                index=index,
+                task=task,
+                error=exc,
+                error_type=type(exc).__name__,
+                traceback=result.traceback,
+                node=result.node,
+            )
+            for index, task in result.unit.members
         ]
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            future_units = {
-                pool.submit(
-                    _run_chunk, fn, start, c, self.retries, self.backoff,
-                    self.backoff_cap, self.retryable,
-                    span_context=self.span_context,
-                ): [(start + i, t) for i, t in enumerate(c)]
-                for start, c in spans
-            }
-            return self._drain_futures(
-                future_units, fail_fast, on_outcome, len(tasks)
-            )
 
-    def _drain_futures(
+    def _drain_stream(
         self,
-        future_units: dict,
+        stream: Iterator[Any],
         fail_fast: bool,
         on_outcome: Optional[Callable[[TaskOutcome], None]],
         n_tasks: int,
     ) -> List[TaskOutcome]:
-        """Drain outcome futures; ``future_units`` maps each future to its
-        ``(index, task)`` pairs for attribution if the future itself raises."""
+        """Drain a :class:`UnitResult` stream, emitting hooks in input
+        order.
+
+        Outcomes land in their slots as units complete (any order);
+        the hook fires only for the contiguous prefix of filled slots.
+        Once an emitted outcome is a failure under fail-fast, it is by
+        construction the lowest-index failure that will ever exist —
+        every earlier slot was emitted ok — so the stream is closed
+        (executors cancel or abandon pending units; the lazy serial
+        backend simply never runs the rest) and :class:`TaskError` is
+        raised naming exactly that task.
+        """
         slots: List[Optional[TaskOutcome]] = [None] * n_tasks
-        first_failure: Optional[TaskOutcome] = None
-        pending = set(future_units)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for fut in done:
-                unit = future_units[fut]
-                try:
-                    unit_outcomes = fut.result()
-                except Exception as exc:  # noqa: BLE001
-                    # Infrastructure failure (broken pool, unpicklable
-                    # fn/result): no worker-side attribution exists, so
-                    # every task in the unit is marked failed.
-                    unit_outcomes = [
-                        TaskOutcome(
-                            index=index,
-                            task=t,
-                            error=exc,
-                            error_type=type(exc).__name__,
-                            traceback=_traceback.format_exc(),
-                        )
-                        for index, t in unit
-                    ]
-                for outcome in unit_outcomes:
+        emit_ptr = 0
+        failure: Optional[TaskOutcome] = None
+        try:
+            for result in stream:
+                for outcome in self._unit_outcomes(result):
                     slots[outcome.index] = outcome
+                while emit_ptr < n_tasks and slots[emit_ptr] is not None:
+                    outcome = slots[emit_ptr]
+                    emit_ptr += 1
                     if on_outcome is not None:
                         on_outcome(outcome)
-                    if not outcome.ok and (
-                        first_failure is None
-                        or outcome.index < first_failure.index
-                    ):
-                        first_failure = outcome
-            if fail_fast and first_failure is not None:
-                for fut in pending:
-                    fut.cancel()
-                break
-        if fail_fast and first_failure is not None:
+                    if not outcome.ok and failure is None:
+                        failure = outcome
+                        if fail_fast:
+                            break
+                if fail_fast and failure is not None:
+                    break
+        finally:
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
+        if fail_fast and failure is not None:
             raise TaskError(
-                first_failure.task,
-                first_failure.error,
-                first_failure.traceback,
-            ) from first_failure.error
+                failure.task, failure.error, failure.traceback
+            ) from failure.error
         # collect mode drains everything, so every slot is filled.
         return [o for o in slots if o is not None]
 
@@ -625,71 +728,66 @@ class ParallelMap:
         if not tasks:
             return []
         fail_fast = self.failure_policy == "fail_fast"
-        if self.metrics is not None:
-            self.metrics.gauge(
-                "pool_workers", help="Worker processes of the last pool run."
-            ).set(self.workers)
-            on_outcome = self._metered(on_outcome)
-
-        size = batch_size or DEFAULT_GROUP_BATCH
-        groups: dict = {}
-        for i, task in enumerate(tasks):
-            groups.setdefault(group_key(task), []).append((i, task))
-        batches: List[Tuple[List[int], List[Any]]] = []
-        for members in groups.values():
-            for lo in range(0, len(members), size):
-                part = members[lo : lo + size]
-                batches.append(
-                    ([i for i, _ in part], [t for _, t in part])
+        executor, owned = self._resolve_executor(len(tasks))
+        try:
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "pool_workers",
+                    help="Worker processes of the last pool run.",
+                ).set(
+                    executor.parallelism()
+                    if self.executor is not None
+                    else self.workers
                 )
+                on_outcome = self._metered(on_outcome)
 
-        if self.workers == 1 or len(tasks) == 1:
-            outcomes: List[TaskOutcome] = []
-            for indices, batch in batches:
-                for outcome in _run_batch(
-                    fn, batch_fn, indices, batch, self.retries,
-                    self.backoff, self.backoff_cap, self.retryable,
-                ):
-                    outcomes.append(outcome)
-                    if on_outcome is not None:
-                        on_outcome(outcome)
-                    if fail_fast and not outcome.ok:
-                        raise TaskError(
-                            outcome.task, outcome.error, outcome.traceback
-                        ) from outcome.error
-            outcomes.sort(key=lambda o: o.index)
-            return outcomes
+            size = batch_size or DEFAULT_GROUP_BATCH
+            groups: dict = {}
+            for i, task in enumerate(tasks):
+                groups.setdefault(group_key(task), []).append((i, task))
+            batches: List[Tuple[List[int], List[Any]]] = []
+            for members in groups.values():
+                for lo in range(0, len(members), size):
+                    part = members[lo : lo + size]
+                    batches.append(
+                        ([i for i, _ in part], [t for _, t in part])
+                    )
 
-        # Pack whole batches into worker messages of roughly the same
-        # task count as _execute_parallel's chunks, so pickling overhead
-        # amortizes without splitting any replication group.
-        target = max(1, len(tasks) // (self.workers * 4))
-        messages: List[List[Tuple[List[int], List[Any]]]] = []
-        current: List[Tuple[List[int], List[Any]]] = []
-        current_n = 0
-        for indices, batch in batches:
-            current.append((indices, batch))
-            current_n += len(batch)
-            if current_n >= target:
-                messages.append(current)
-                current = []
+            if executor.inline:
+                # One batch per unit: lazy pull keeps fail-fast from
+                # running the batches behind a failure.
+                messages = [[batch] for batch in batches]
+            else:
+                # Pack whole batches into worker messages of roughly
+                # the same task count as plain chunks, floored by the
+                # largest batch so no replication group — the unit of
+                # vectorized execution — ever splits across messages
+                # (a short grouped tail must not shatter into
+                # per-task-sized fragments).
+                target = self.chunk_size or max(
+                    math.ceil(len(tasks) / (executor.parallelism() * 4)),
+                    max(len(batch) for _, batch in batches),
+                )
+                messages = []
+                current: List[Tuple[List[int], List[Any]]] = []
                 current_n = 0
-        if current:
-            messages.append(current)
+                for indices, batch in batches:
+                    current.append((indices, batch))
+                    current_n += len(batch)
+                    if current_n >= target:
+                        messages.append(current)
+                        current = []
+                        current_n = 0
+                if current:
+                    messages.append(current)
 
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            future_units = {
-                pool.submit(
-                    _run_batches, fn, batch_fn, message, self.retries,
-                    self.backoff, self.backoff_cap, self.retryable,
-                    span_context=self.span_context,
-                ): [
-                    (index, task)
-                    for indices, batch in message
-                    for index, task in zip(indices, batch)
-                ]
-                for message in messages
-            }
-            return self._drain_futures(
-                future_units, fail_fast, on_outcome, len(tasks)
+            stream = executor.run_grouped(
+                fn, batch_fn, messages, self._settings(executor.inline)
             )
+            return self._drain_stream(
+                stream, fail_fast, on_outcome, len(tasks)
+            )
+        finally:
+            self._merge_counters(executor)
+            if owned:
+                executor.close()

@@ -10,6 +10,16 @@ def run_ok(pool, tasks):
     return pool.run(evaluate, tasks)
 
 
+def submit_ok(executor, chunks, settings):
+    # module-level fn through executor dispatch pickles fine
+    return executor.submit_chunks(evaluate, chunks, settings)
+
+
 def unrelated_receiver(app, tasks):
     # .run on a non-pool receiver is somebody else's API
     return app.run(lambda t: t, tasks)
+
+
+def unrelated_submit(scheduler, chunks):
+    # .submit_chunks on a non-executor receiver is somebody else's API
+    return scheduler.submit_chunks(lambda t: t, chunks)

@@ -13,6 +13,12 @@ def run_closure(pool, tasks, scale):
     return pool.run(scaled, tasks)  # finding: nested function
 
 
+def submit_lambda(executor, chunks, settings):
+    return executor.submit_chunks(  # finding: lambda into executor dispatch
+        lambda t: t + 1, chunks, settings
+    )
+
+
 class Runner:
     def go(self, pool, tasks):
         return pool.run_grouped(

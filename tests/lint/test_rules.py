@@ -16,7 +16,7 @@ RULE_CASES = [
     ("rep003", "REP003", 3),
     ("rep004", "REP004", 3),
     ("rep005", "REP005", 5),
-    ("rep006", "REP006", 4),
+    ("rep006", "REP006", 5),
     ("rep007", "REP007", 4),
     ("rep008", "REP008", 3),
 ]

@@ -181,6 +181,20 @@ class TestDefaults:
         monkeypatch.setenv("REPRO_WORKERS", "many")
         assert default_worker_count() >= 1
 
-    def test_no_env_uses_cpu_count(self, monkeypatch):
+    def test_no_env_uses_affinity_then_cpu_count(self, monkeypatch):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
-        assert default_worker_count() == max(1, os.cpu_count() or 1)
+        if hasattr(os, "sched_getaffinity"):
+            expected = max(1, len(os.sched_getaffinity(0)))
+        else:  # pragma: no cover - non-Linux
+            expected = max(1, os.cpu_count() or 1)
+        assert default_worker_count() == expected
+
+    def test_no_env_respects_affinity_mask(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        if not hasattr(os, "sched_getaffinity"):  # pragma: no cover
+            pytest.skip("no sched_getaffinity on this platform")
+        # A CI job pinned to 2 of a 64-core host must not fork 64
+        # workers, whatever os.cpu_count() claims.
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1})
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert default_worker_count() == 2
