@@ -223,6 +223,16 @@ def build_parser() -> argparse.ArgumentParser:
              "$REPRO_LANDSCAPE_CACHE when set)",
     )
     parser.add_argument(
+        "--result-store", metavar="DIR",
+        help="content-addressed result store: cells whose fingerprint "
+             "(kernel profile, arch, space, tuner+config, budget, seed "
+             "policy, simulator version) is already materialized are "
+             "answered without running; completed cells are written "
+             "back for later studies and tune() requests (defaults to "
+             "$REPRO_RESULT_STORE when set; inspect with "
+             "`repro-store ls/stats/gc`)",
+    )
+    parser.add_argument(
         "--metrics-out", metavar="PATH",
         help="export the study's metrics registry to PATH — Prometheus "
              "text format, or JSON when PATH ends in .json",
@@ -315,6 +325,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             executor_bind=args.bind,
             min_workers=args.min_workers,
             chunk_size=args.chunk_size,
+            result_store=args.result_store,
         )
     except TaskError as err:
         cell = getattr(err.task, "cell_key", repr(err.task))
@@ -377,6 +388,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         status(f"wrote metrics to {out}")
     if results.metadata.get("landscape_cache"):
         status(f"landscape tables in {results.metadata['landscape_cache']}")
+    if results.metadata.get("result_store"):
+        status(
+            f"result store {results.metadata['result_store']}: "
+            f"{results.metadata.get('store_hits', 0)} cells answered "
+            f"from cache"
+        )
     if args.trace_dir:
         status(
             f"trace JSONL in {args.trace_dir} "

@@ -33,6 +33,7 @@ from ..gpu.device import SimulatedDevice
 from ..gpu.landscape import (
     LandscapeTable,
     default_cache_dir,
+    landscape_fingerprint,
     load_or_compute_landscape,
 )
 from ..gpu.noise import DEFAULT_NOISE, NoiseModel
@@ -50,6 +51,12 @@ from ..parallel import (
 from ..search import PAPER_ALGORITHM_NAMES, make_tuner
 from ..search.base import DatasetTuner
 from ..stats.bootstrap import bootstrap_halfwidth
+from ..store import (
+    ResultStore,
+    cell_identity,
+    default_store_dir,
+    fingerprint_of,
+)
 from .checkpoint import StudyCheckpoint
 from .dataset import PrecollectedDataset, collect_dataset
 from .design import AdaptiveConfig, ExperimentDesign
@@ -114,6 +121,101 @@ def _needs_dataset(config: StudyConfig) -> bool:
         isinstance(make_tuner(a, **dict(config.overrides_for(a))), DatasetTuner)
         for a in config.algorithms
     )
+
+
+def _dataset_cells_covered(
+    config: StudyConfig,
+    fingerprints: Optional["_CellFingerprints"],
+    store_hits: Dict[str, object],
+    completed: Dict[str, object],
+) -> bool:
+    """True when no dataset-driven cell still needs its dataset rows.
+
+    A cell is covered when the result store answered it or the
+    checkpoint already completed it; a fully-covered study skips the
+    dataset collection pass entirely.
+    """
+    if not store_hits and not completed:
+        return False
+    for alg in config.algorithms:
+        if fingerprints is not None:
+            needs = fingerprints.needs_data(alg)
+        else:
+            needs = isinstance(
+                make_tuner(alg, **dict(config.overrides_for(alg))),
+                DatasetTuner,
+            )
+        if not needs:
+            continue
+        for kname in config.kernels:
+            for aname in config.archs:
+                for size in config.design.sample_sizes:
+                    for exp in range(config.design.experiments_for(size)):
+                        key = f"{alg}/{kname}/{aname}/{size}/{exp}"
+                        if key not in store_hits and key not in completed:
+                            return False
+    return True
+
+
+class _CellFingerprints:
+    """Memoized per-cell result-store fingerprints for one study config.
+
+    The landscape fingerprint (one kernel/space construction per
+    (kernel, arch) pair) dominates the cost of a cell identity, so it is
+    computed once and shared across every cell on that landscape —
+    fingerprinting a whole study is then microseconds per cell.
+    """
+
+    def __init__(self, config: StudyConfig) -> None:
+        self._config = config
+        self._landscape_fps: Dict[Tuple[str, str], str] = {}
+        self._needs_data = {
+            alg: isinstance(
+                make_tuner(alg, **dict(config.overrides_for(alg))),
+                DatasetTuner,
+            )
+            for alg in config.algorithms
+        }
+
+    def needs_data(self, alg: str) -> bool:
+        return self._needs_data[alg]
+
+    def _landscape_fp(self, kname: str, aname: str) -> str:
+        key = (kname, aname)
+        fp = self._landscape_fps.get(key)
+        if fp is None:
+            kernel = get_kernel(
+                kname, self._config.image_x, self._config.image_y
+            )
+            fp = landscape_fingerprint(
+                kernel.profile(), get_architecture(aname), kernel.space()
+            )
+            self._landscape_fps[key] = fp
+        return fp
+
+    def fingerprint_for(
+        self, alg: str, kname: str, aname: str, size: int, exp: int
+    ) -> Tuple[str, dict]:
+        """``(fingerprint, identity)`` of one study cell."""
+        config = self._config
+        identity = cell_identity(
+            self._landscape_fp(kname, aname),
+            algorithm=alg,
+            kernel=kname,
+            arch=aname,
+            sample_size=size,
+            experiment=exp,
+            root_seed=config.root_seed,
+            final_repeats=config.final_repeats,
+            noise=config.noise,
+            tuner_kwargs=config.overrides_for(alg),
+            dataset_rows=(
+                config.design.dataset_rows_required
+                if self._needs_data[alg]
+                else None
+            ),
+        )
+        return fingerprint_of(identity), identity
 
 
 def _load_landscapes(
@@ -232,8 +334,16 @@ def build_tasks(
     landscape_cache: Optional[str] = None,
     trace_level: str = "events",
     span_parent: Optional[SpanContext] = None,
+    skip_data: Optional[Dict[str, object]] = None,
 ) -> List[ExperimentTask]:
-    """The full task list for one study, in a deterministic order."""
+    """The full task list for one study, in a deterministic order.
+
+    ``skip_data`` maps cell keys that already have a materialized result
+    (checkpoint or result store) — their tasks are built without a
+    dataset slice, so a fully-warm study never needs the dataset phase
+    at all.  Those tasks are placeholders for result assembly and are
+    never dispatched.
+    """
     tasks: List[ExperimentTask] = []
     for alg in config.algorithms:
         tuner = make_tuner(alg, **dict(config.overrides_for(alg)))
@@ -243,9 +353,13 @@ def build_tasks(
                 for size in config.design.sample_sizes:
                     n_exp = config.design.experiments_for(size)
                     for exp in range(n_exp):
+                        cell_key = f"{alg}/{kname}/{aname}/{size}/{exp}"
+                        attach_data = needs_data and not (
+                            skip_data is not None and cell_key in skip_data
+                        )
                         tasks.append(
                             _task_for(
-                                config, datasets, alg, needs_data,
+                                config, datasets, alg, attach_data,
                                 kname, aname, size, exp,
                                 trace_dir=trace_dir,
                                 landscape_cache=landscape_cache,
@@ -329,7 +443,9 @@ def _run_adaptive(
     batch_replications: bool,
     trace_level: str = "events",
     span_parent: Optional[SpanContext] = None,
-) -> Tuple[List[object], List[dict], dict, int, int]:
+    store: Optional[ResultStore] = None,
+    fingerprints: Optional[_CellFingerprints] = None,
+) -> Tuple[List[object], List[dict], dict, int, int, int]:
     """The adaptive sequential-replication loop.
 
     Grows every replication group in rounds through the same pool
@@ -344,8 +460,16 @@ def _run_adaptive(
     experiment order.  On resume, checkpointed stop decisions are
     replayed verbatim rather than re-derived.
 
+    When a result store is attached, every cell a group grows into is
+    looked up by its content fingerprint before dispatch: hits land
+    directly in the group's population (and the checkpoint), so whole
+    replication groups short-circuit when a previous study already
+    materialized them — the looks then re-derive the same stopping
+    decisions from the identical numbers.  Completed cells (dispatched
+    or checkpoint-resumed) are written back to the store.
+
     Returns ``(results, failed_cells, adaptive_metadata, total_cells,
-    resumed_cells)``.
+    resumed_cells, store_hits)``.
     """
     rngs = RngFactory(config.root_seed)
     events_on = trace_dir is not None and trace_level in ("events", "full")
@@ -400,7 +524,10 @@ def _run_adaptive(
     done = dict(ckpt.completed) if ckpt is not None else {}
     results_by_key: Dict[str, object] = {}
     failed_by_key: Dict[str, dict] = {}
+    #: cell_key -> (fingerprint, identity) for store write-back.
+    cell_ids: Dict[str, Tuple[str, dict]] = {}
     resumed = 0
+    store_hits = 0
 
     telemetry.start_tasks(0, skipped=0)
     telemetry.line(
@@ -469,10 +596,32 @@ def _run_adaptive(
                     trace_dir=trace_dir, landscape_cache=landscape_cache,
                     trace_level=trace_level, span_parent=span_parent,
                 )
+                fp_id: Optional[Tuple[str, dict]] = None
+                if store is not None and fingerprints is not None:
+                    fp_id = fingerprints.fingerprint_for(
+                        group.algorithm, group.kernel, group.arch,
+                        group.sample_size, exp,
+                    )
+                    cell_ids[task.cell_key] = fp_id
                 if task.cell_key in done:
-                    results_by_key[task.cell_key] = done[task.cell_key]
+                    result = done[task.cell_key]
+                    results_by_key[task.cell_key] = result
                     resumed += 1
                     telemetry.add_skipped(1)
+                    if fp_id is not None and store.get_result(
+                        fp_id[0]
+                    ) is None:
+                        # Migrate checkpoint-resumed cells into the store
+                        # so the next study hits cache without the file.
+                        store.put_result(fp_id[0], result, fp_id[1])
+                elif fp_id is not None and (
+                    hit := store.get_result(fp_id[0])
+                ) is not None:
+                    results_by_key[task.cell_key] = hit
+                    store_hits += 1
+                    telemetry.add_skipped(1)
+                    if ckpt is not None:
+                        ckpt.record_result(task.cell_key, hit)
                 else:
                     pending.append(task)
             group.dispatched = target
@@ -493,6 +642,12 @@ def _run_adaptive(
             for outcome in outcomes:
                 if outcome.ok:
                     results_by_key[outcome.task.cell_key] = outcome.result
+                    if store is not None:
+                        fp_id = cell_ids.get(outcome.task.cell_key)
+                        if fp_id is not None:
+                            store.put_result(
+                                fp_id[0], outcome.result, fp_id[1]
+                            )
                 else:
                     failed_by_key[outcome.task.cell_key] = {
                         "cell_key": outcome.task.cell_key,
@@ -602,8 +757,9 @@ def _run_adaptive(
         "replications_saved": saved,
         "replications_budget": budget_total,
         "groups_replayed": replayed,
+        "store_hits": store_hits,
     }
-    return results, failed_cells, meta, executed, resumed
+    return results, failed_cells, meta, executed, resumed, store_hits
 
 
 def run_study(
@@ -626,6 +782,7 @@ def run_study(
     executor_bind: Optional[str] = None,
     min_workers: int = 0,
     chunk_size: Optional[int] = None,
+    result_store: Optional[object] = None,
 ) -> StudyResults:
     """Run the full study described by ``config``.
 
@@ -744,6 +901,19 @@ def run_study(
         Tasks per worker message (``None`` = balanced automatic
         chunking; grouped dispatch never splits a replication group
         regardless).
+    result_store:
+        A :class:`~repro.store.ResultStore`, a store directory path,
+        ``None`` (use ``$REPRO_RESULT_STORE``; unset disables the
+        store), or ``False`` (disabled even when the environment names
+        a store).  When attached, every cell is looked up by its content
+        fingerprint before dispatch — warm cells short-circuit the
+        pool entirely (and stream into the checkpoint, so later resumes
+        need neither store nor re-run), completed cells are written
+        back, and a fully-warm study also skips dataset collection.  A
+        cold (or absent) store changes nothing: results and checkpoint
+        bytes are identical with the store on or off.  Hits/misses/
+        writes are counted in the study metrics registry, and the hit
+        count lands in ``StudyResults.metadata["store_hits"]``.
     """
     config.validate()
     if trace_level not in ("events", "spans", "full"):
@@ -815,15 +985,90 @@ def run_study(
                 f"in {telemetry.phase_seconds['landscapes']:.1f}s"
             )
 
-        datasets: Dict[Tuple[str, str], PrecollectedDataset] = {}
-        if _needs_dataset(config):
-            with study_phase("dataset"):
-                datasets = _collect_datasets(config, tables)
-            telemetry.line(
-                f"collected {len(datasets)} datasets "
-                f"({config.design.dataset_rows_required} rows each) "
-                f"in {telemetry.phase_seconds['dataset']:.1f}s"
+        store: Optional[ResultStore] = None
+        if result_store is None:
+            result_store = default_store_dir()
+        if result_store is False:
+            result_store = None
+        if result_store is not None:
+            store = (
+                result_store
+                if isinstance(result_store, ResultStore)
+                else ResultStore(result_store, metrics=registry)
             )
+        store_dir = str(store.root) if store is not None else None
+
+        # The checkpoint loads before the dataset phase so its completed
+        # cells can join store hits in deciding whether dataset
+        # collection is needed at all.  Nothing is written until the
+        # first record_* call, so checkpoint bytes are unaffected.
+        ckpt: Optional[StudyCheckpoint] = None
+        if checkpoint is not None:
+            ckpt = (
+                checkpoint
+                if isinstance(checkpoint, StudyCheckpoint)
+                else StudyCheckpoint(checkpoint, root_seed=config.root_seed)
+            )
+
+        fingerprints = (
+            _CellFingerprints(config) if store is not None else None
+        )
+        #: cell_key -> cached ExperimentResult answered by the store.
+        store_hit_results: Dict[str, object] = {}
+        #: cell_key -> (fingerprint, identity) for write-back.
+        cell_ids: Dict[str, Tuple[str, dict]] = {}
+        if store is not None and adaptive is None:
+            with study_phase("store"):
+                for alg in config.algorithms:
+                    for kname in config.kernels:
+                        for aname in config.archs:
+                            for size in config.design.sample_sizes:
+                                n_exp = config.design.experiments_for(size)
+                                for exp in range(n_exp):
+                                    key = (
+                                        f"{alg}/{kname}/{aname}/"
+                                        f"{size}/{exp}"
+                                    )
+                                    fp, ident = (
+                                        fingerprints.fingerprint_for(
+                                            alg, kname, aname, size, exp
+                                        )
+                                    )
+                                    cell_ids[key] = (fp, ident)
+                                    cached = store.get_result(fp)
+                                    if cached is not None:
+                                        store_hit_results[key] = cached
+            telemetry.line(
+                f"result store {store.root}: "
+                f"{len(store_hit_results)}/{len(cell_ids)} cells warm "
+                f"in {telemetry.phase_seconds['store']:.1f}s"
+            )
+
+        datasets: Dict[Tuple[str, str], PrecollectedDataset] = {}
+        dataset_skipped = False
+        if _needs_dataset(config):
+            if adaptive is None and _dataset_cells_covered(
+                config,
+                fingerprints,
+                store_hit_results,
+                ckpt.completed if ckpt is not None else {},
+            ):
+                # Every dataset-driven cell is already materialized
+                # (store and/or checkpoint) — the rows would never be
+                # read, so the whole collection pass is skipped.
+                dataset_skipped = True
+                telemetry.line(
+                    "dataset collection skipped: every dataset-driven "
+                    "cell is already materialized"
+                )
+            else:
+                with study_phase("dataset"):
+                    datasets = _collect_datasets(config, tables)
+                telemetry.line(
+                    f"collected {len(datasets)} datasets "
+                    f"({config.design.dataset_rows_required} rows each) "
+                    f"in {telemetry.phase_seconds['dataset']:.1f}s"
+                )
 
         optima: Dict[Tuple[str, str], float] = {}
         if compute_optima:
@@ -834,13 +1079,6 @@ def run_study(
                 f"in {telemetry.phase_seconds['optima']:.1f}s"
             )
 
-        ckpt: Optional[StudyCheckpoint] = None
-        if checkpoint is not None:
-            ckpt = (
-                checkpoint
-                if isinstance(checkpoint, StudyCheckpoint)
-                else StudyCheckpoint(checkpoint, root_seed=config.root_seed)
-            )
         # The experiments-phase span is constructed (not yet entered)
         # here so its context can ride inside every task across the
         # process-pool boundary.
@@ -896,16 +1134,21 @@ def run_study(
                         adaptive_meta,
                         total_cells,
                         resumed,
+                        store_hit_count,
                     ) = _run_adaptive(
                         config, adaptive, datasets, optima, pool, ckpt,
                         telemetry, registry, trace_dir_str, cache_dir,
                         batch_replications,
                         trace_level=trace_level, span_parent=exp_ctx,
+                        store=store, fingerprints=fingerprints,
                     )
             finally:
                 if ckpt is not None:
                     ckpt.close()
         else:
+            covered: Dict[str, object] = dict(store_hit_results)
+            if ckpt is not None:
+                covered.update(ckpt.completed)
             tasks = build_tasks(
                 config,
                 datasets,
@@ -913,13 +1156,34 @@ def run_study(
                 landscape_cache=cache_dir,
                 trace_level=trace_level,
                 span_parent=exp_ctx,
+                # Only strip dataset payloads when the collection pass
+                # was skipped — covered cells are never dispatched, so
+                # their tasks are assembly placeholders either way.
+                skip_data=covered if dataset_skipped else None,
             )
             if ckpt is not None:
                 # The planned shape, for read-only watchers; written once
                 # per checkpoint file (no-op on resume).
                 ckpt.record_plan({"total_cells": len(tasks)})
             done: Dict[str, object] = dict(ckpt.completed) if ckpt else {}
-            pending = [t for t in tasks if t.cell_key not in done]
+            hits = {
+                k: v
+                for k, v in store_hit_results.items()
+                if k not in done
+            }
+            if ckpt is not None and hits:
+                # Store hits stream into the checkpoint in task order, so
+                # a later resume replays them without needing the store.
+                for task in tasks:
+                    if task.cell_key in hits:
+                        ckpt.record_result(
+                            task.cell_key, hits[task.cell_key]
+                        )
+            pending = [
+                t
+                for t in tasks
+                if t.cell_key not in done and t.cell_key not in hits
+            ]
             telemetry.start_tasks(
                 len(pending), skipped=len(tasks) - len(pending)
             )
@@ -931,6 +1195,11 @@ def run_study(
                 fleet = f"{config.workers or 'all'} workers"
             telemetry.line(
                 f"running {len(pending)} experiments on {fleet}"
+                + (
+                    f" ({len(hits)} answered by the result store)"
+                    if hits
+                    else ""
+                )
             )
 
             def on_outcome(outcome: TaskOutcome) -> None:
@@ -973,6 +1242,9 @@ def run_study(
                 if task.cell_key in done:
                     results.append(done[task.cell_key])
                     continue
+                if task.cell_key in hits:
+                    results.append(hits[task.cell_key])
+                    continue
                 outcome = by_key[task.cell_key]
                 if outcome.ok:
                     results.append(outcome.result)
@@ -990,8 +1262,29 @@ def run_study(
                             "node": outcome.node,
                         }
                     )
+            if store is not None:
+                # Write back every completed cell the store has not yet
+                # materialized — including checkpoint-resumed cells, so
+                # resuming an old study migrates its results into the
+                # store for every later study and tune() request.
+                stored = set(store_hit_results)
+                for task in tasks:
+                    key = task.cell_key
+                    if key in stored:
+                        continue
+                    fp_id = cell_ids.get(key)
+                    if fp_id is None:
+                        continue
+                    cell_result = done.get(key)
+                    if cell_result is None:
+                        outcome = by_key.get(key)
+                        if outcome is None or not outcome.ok:
+                            continue
+                        cell_result = outcome.result
+                    store.put_result(fp_id[0], cell_result, fp_id[1])
             total_cells = len(tasks)
-            resumed = len(tasks) - len(pending)
+            resumed = sum(1 for t in tasks if t.cell_key in done)
+            store_hit_count = len(hits)
     if failed_cells:
         telemetry.line(
             f"{len(failed_cells)} cells failed: "
@@ -1033,6 +1326,8 @@ def run_study(
         "trace_dir": str(trace_dir) if trace_dir is not None else None,
         "trace_level": trace_level if trace_dir is not None else None,
         "landscape_cache": cache_dir,
+        "result_store": store_dir,
+        "store_hits": store_hit_count,
     }
     if profiler is not None:
         metadata["profile"] = profiler.snapshot()

@@ -232,7 +232,8 @@ class NonAtomicWriteRule(Rule):
 # -- REP004 ------------------------------------------------------------------
 
 _FINGERPRINT_FUNC = re.compile(
-    r"fingerprint|canonical|identity|cache_key|manifest_id|run_id",
+    r"fingerprint|canonical|identity|cache_key|manifest_id|run_id"
+    r"|store_key|entry_key|result_key",
     re.IGNORECASE,
 )
 

@@ -149,6 +149,7 @@ def build_manifest(
         "experiments_completed": telemetry.get("completed"),
         "experiments_failed": len(meta.get("failed_cells") or []),
         "experiments_resumed": meta.get("resumed_from_checkpoint"),
+        "store_hits": meta.get("store_hits"),
         "throughput_per_s": telemetry.get("throughput_per_s"),
         "phase_seconds": dict(telemetry.get("phase_seconds") or {}),
         "replications_executed": adaptive_meta.get("replications_executed"),
@@ -171,6 +172,9 @@ def build_manifest(
             "workers": config.workers,
             "executor": meta.get("executor"),
             "failure_policy": meta.get("failure_policy"),
+            # Boolean, not the path: store directories differ across
+            # machines while the results they produce do not.
+            "result_store_used": meta.get("result_store") is not None,
             "batch_replications": meta.get("batch_replications"),
             "adaptive": (
                 dict(adaptive_meta.get("config") or {})
@@ -262,29 +266,37 @@ def diff_runs(
 
     Fingerprint or config changes are reported as *changes*, not
     regressions — different workloads are expected to differ.
+
+    Keys present in only one manifest are neutral: the manifest schema
+    grows over time (e.g. ``config.result_store_used`` appeared in a
+    later version), and a baseline recorded before a key existed must
+    stay diffable — and ``comparable`` — against runs recorded after.
+    Only keys both manifests carry can mark a workload change.
     """
     changes: List[str] = []
     regressions: List[str] = []
 
     old_cfg = old.get("config") or {}
     new_cfg = new.get("config") or {}
-    if _canonical(old_cfg) != _canonical(new_cfg):
-        for key in sorted(set(old_cfg) | set(new_cfg)):
-            if old_cfg.get(key) != new_cfg.get(key):
-                changes.append(
-                    f"config.{key}: {old_cfg.get(key)!r} -> "
-                    f"{new_cfg.get(key)!r}"
-                )
+    shared_cfg = sorted(set(old_cfg) & set(new_cfg))
+    for key in shared_cfg:
+        if old_cfg.get(key) != new_cfg.get(key):
+            changes.append(
+                f"config.{key}: {old_cfg.get(key)!r} -> "
+                f"{new_cfg.get(key)!r}"
+            )
     old_fp = old.get("fingerprints") or {}
     new_fp = new.get("fingerprints") or {}
-    for key in sorted(set(old_fp) | set(new_fp)):
+    shared_fp = sorted(set(old_fp) & set(new_fp))
+    for key in shared_fp:
         if old_fp.get(key) != new_fp.get(key):
             changes.append(
                 f"fingerprint {key}: {old_fp.get(key)} -> {new_fp.get(key)}"
             )
-    comparable = _canonical(old_cfg) == _canonical(new_cfg) and (
-        _canonical(old_fp) == _canonical(new_fp)
-    )
+    comparable = all(
+        _canonical(old_cfg.get(k)) == _canonical(new_cfg.get(k))
+        for k in shared_cfg
+    ) and all(old_fp.get(k) == new_fp.get(k) for k in shared_fp)
 
     old_head = old.get("headline") or {}
     new_head = new.get("headline") or {}

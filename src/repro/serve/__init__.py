@@ -1,0 +1,10 @@
+"""Tuning-as-a-service entry points.
+
+:func:`tune` is the one-call facade over the content-addressed result
+store (:mod:`repro.store`): warm requests are O(lookup), cold requests
+run one inline experiment and populate the store.
+"""
+
+from .facade import TuneResult, tune
+
+__all__ = ["tune", "TuneResult"]

@@ -1,0 +1,140 @@
+"""``repro-store``: inspect and maintain the content-addressed store.
+
+Subcommands::
+
+    repro-store ls    [--store DIR] [--ttl S] [--json]
+    repro-store stats [--store DIR] [--ttl S]
+    repro-store gc    [--store DIR] [--ttl S] [--dry-run]
+
+``--store`` defaults to ``$REPRO_RESULT_STORE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+from .store import STORE_ENV, ResultStore, default_store_dir
+
+__all__ = ["main", "build_parser"]
+
+
+def _store_from(args: argparse.Namespace) -> ResultStore:
+    root = args.store if args.store else default_store_dir()
+    if root is None:
+        raise SystemExit(
+            f"no store directory: pass --store or set {STORE_ENV}"
+        )
+    return ResultStore(root, ttl=args.ttl)
+
+
+def _describe(doc: Optional[dict]) -> str:
+    if not doc:
+        return "?"
+    ident = doc.get("identity")
+    if not isinstance(ident, dict):
+        return str(doc.get("kind", "?"))
+    if ident.get("kind") == "cell":
+        return (
+            f"{ident.get('algorithm', '?')}/{ident.get('kernel', '?')}/"
+            f"{ident.get('arch', '?')}/{ident.get('sample_size', '?')}/"
+            f"{ident.get('experiment', '?')}"
+        )
+    return str(ident.get("kind", "?"))
+
+
+def _cmd_ls(args: argparse.Namespace) -> int:
+    store = _store_from(args)
+    rows = []
+    for path, doc, reason in store.entries():
+        rows.append(
+            {
+                "fingerprint": path.stem,
+                "status": reason,
+                "kind": (doc or {}).get("kind", "?"),
+                "cell": _describe(doc),
+            }
+        )
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print(f"(empty store at {store.root})")
+        return 0
+    width = max(len(r["fingerprint"]) for r in rows)
+    for r in rows:
+        print(
+            f"{r['fingerprint']:<{width}}  {r['status']:<12}  {r['cell']}"
+        )
+    print(f"{len(rows)} entries in {store.root}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    store = _store_from(args)
+    print(json.dumps(store.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    store = _store_from(args)
+    summary = store.gc(dry_run=args.dry_run)
+    verb = "would evict" if args.dry_run else "evicted"
+    for entry in summary["evicted"]:
+        print(f"{verb} {entry['path']} ({entry['reason']})")
+    print(
+        f"{verb} {len(summary['evicted'])} entries, "
+        f"kept {summary['kept']}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-store",
+        description="Inspect and maintain the content-addressed "
+        "result store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store",
+            default=None,
+            help=f"store directory (default: ${STORE_ENV})",
+        )
+        p.add_argument(
+            "--ttl",
+            type=float,
+            default=None,
+            help="treat entries older than TTL seconds as stale",
+        )
+
+    ls = sub.add_parser("ls", help="list entries with their verdicts")
+    common(ls)
+    ls.add_argument("--json", action="store_true", help="JSON output")
+    ls.set_defaults(func=_cmd_ls)
+
+    stats = sub.add_parser("stats", help="entry counts and footprint")
+    common(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    gc = sub.add_parser("gc", help="evict stale/corrupt/expired entries")
+    common(gc)
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report evictions without deleting",
+    )
+    gc.set_defaults(func=_cmd_gc)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

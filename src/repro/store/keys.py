@@ -1,0 +1,107 @@
+"""Canonical identity documents and fingerprints for stored results.
+
+Every entry in the result store is keyed by a **content fingerprint**:
+the SHA-256 of a canonical-JSON identity document covering everything
+that determines the result's bytes.  For one experiment cell that is
+
+* the landscape fingerprint (which already hashes the kernel profile,
+  the architecture, the search space, and ``SIMULATOR_VERSION`` — see
+  :func:`repro.gpu.landscape.landscape_fingerprint`),
+* the kernel and architecture *names* (per-cell RNG streams are derived
+  from the cell key, which uses names — two identically-profiled
+  kernels under different names draw different noise),
+* the tuner name and its configuration overrides,
+* the sample-size budget and experiment index,
+* the seed policy (``root_seed``, ``final_repeats``, noise model), and
+* for dataset-driven tuners, the number of pre-collected dataset rows
+  (their RNG stream is sized by it).
+
+The canonical form is the same one ``landscape_fingerprint`` uses —
+``sort_keys=True`` plus compact separators — so dict insertion order and
+whitespace never leak into cache keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Mapping, Optional
+
+from ..gpu.simulator import SIMULATOR_VERSION
+
+__all__ = ["canonical_json", "fingerprint_of", "cell_identity"]
+
+
+def canonical_json(doc) -> str:
+    """Serialize ``doc`` to the canonical byte form store keys hash."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def fingerprint_of(doc) -> str:
+    """Stable 24-hex content fingerprint of one identity document."""
+    blob = canonical_json(doc).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:24]
+
+
+def _normalized_kwargs(tuner_kwargs) -> list:
+    """Tuner overrides as a sorted ``[[key, value], ...]`` list.
+
+    Accepts either a mapping or a sequence of pairs (the tuple-of-pairs
+    form :class:`~repro.experiments.runner.ExperimentTask` carries), so
+    the same overrides always hash identically.
+    """
+    if isinstance(tuner_kwargs, Mapping):
+        pairs = list(tuner_kwargs.items())
+    else:
+        pairs = [(k, v) for k, v in tuner_kwargs]
+    return [
+        [str(k), v] for k, v in sorted(pairs, key=lambda kv: str(kv[0]))
+    ]
+
+
+def _noise_doc(noise) -> Optional[dict]:
+    if noise is None:
+        return None
+    if is_dataclass(noise):
+        return asdict(noise)
+    return dict(noise)
+
+
+def cell_identity(
+    landscape_fp: str,
+    *,
+    algorithm: str,
+    kernel: str,
+    arch: str,
+    sample_size: int,
+    experiment: int,
+    root_seed: int,
+    final_repeats: int,
+    noise=None,
+    tuner_kwargs=(),
+    dataset_rows: Optional[int] = None,
+) -> dict:
+    """The identity document of one experiment cell.
+
+    ``dataset_rows`` is the pre-collected dataset size for dataset-driven
+    tuners (``None`` for live-measurement tuners): the dataset's RNG
+    stream draws exactly that many rows, so two studies whose designs
+    collect different row counts produce different slices — and must not
+    share cache entries.
+    """
+    return {
+        "kind": "cell",
+        "simulator_version": SIMULATOR_VERSION,
+        "landscape": landscape_fp,
+        "kernel": kernel,
+        "arch": arch,
+        "algorithm": algorithm,
+        "tuner_kwargs": _normalized_kwargs(tuner_kwargs),
+        "sample_size": int(sample_size),
+        "experiment": int(experiment),
+        "root_seed": int(root_seed),
+        "final_repeats": int(final_repeats),
+        "noise": _noise_doc(noise),
+        "dataset_rows": None if dataset_rows is None else int(dataset_rows),
+    }

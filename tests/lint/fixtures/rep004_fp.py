@@ -15,3 +15,15 @@ def cache_key(space):
 def save_report(doc):
     # not hash-fed, not a fingerprint context: ordering is cosmetic here
     return json.dumps(doc, indent=2)
+
+
+def store_key(identity):
+    # canonical store key: sorted + compact, safe to hash
+    return hashlib.sha256(
+        json.dumps(identity, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def result_key_label(result):
+    # sort_keys alone is canonical enough when the dump is not hash-fed
+    return json.dumps(result, sort_keys=True)

@@ -11,3 +11,13 @@ def digest(doc):
 def space_fingerprint(space):
     # finding: fingerprint-context dumps without sort_keys
     return json.dumps(space.descriptor())
+
+
+def store_key(identity):
+    # finding: result-store key construction without sort_keys
+    return json.dumps(identity)
+
+
+def make_entry_key(doc):
+    # finding x2: hash-fed store entry key without sort_keys / separators
+    return hashlib.sha256(json.dumps(doc).encode()).hexdigest()[:24]

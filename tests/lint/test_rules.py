@@ -14,7 +14,7 @@ RULE_CASES = [
     ("rep001", "REP001", 4),
     ("rep002", "REP002", 3),
     ("rep003", "REP003", 3),
-    ("rep004", "REP004", 3),
+    ("rep004", "REP004", 6),
     ("rep005", "REP005", 5),
     ("rep006", "REP006", 5),
     ("rep007", "REP007", 4),

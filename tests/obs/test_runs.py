@@ -199,6 +199,74 @@ class TestDiff:
         assert any("experiments_failed" in r for r in report["regressions"])
 
 
+class TestDiffSchemaTolerance:
+    """Old manifests predate newer config keys — that must stay neutral."""
+
+    def _old_schema(self):
+        return {
+            "config": {"root_seed": 1, "kernels": ["add"]},
+            "fingerprints": {"add/titan_v": "abc"},
+            "headline": {
+                "wall_seconds": 100.0,
+                "experiments_failed": 0,
+                "phase_seconds": {"experiments": 80.0},
+            },
+            "run_id": "old000000000",
+        }
+
+    def test_new_config_key_is_neutral(self):
+        old = self._old_schema()
+        new = copy.deepcopy(old)
+        new["run_id"] = "new000000000"
+        # Keys the old manifest's schema generation never wrote.
+        new["config"]["result_store_used"] = False
+        new["headline"]["store_hits"] = 0
+        report = diff_runs(old, new)
+        assert report["comparable"] is True
+        assert report["changes"] == []
+        assert report["regressions"] == []
+
+    def test_shared_key_change_still_flags(self):
+        old = self._old_schema()
+        new = copy.deepcopy(old)
+        new["config"]["result_store_used"] = True
+        new["config"]["root_seed"] = 2
+        report = diff_runs(old, new)
+        assert not report["comparable"]
+        assert any("config.root_seed" in c for c in report["changes"])
+        # The one-sided key still never shows up as a change.
+        assert not any("result_store_used" in c for c in report["changes"])
+
+    def test_new_fingerprint_key_is_neutral(self):
+        old = self._old_schema()
+        new = copy.deepcopy(old)
+        new["fingerprints"]["harris/a100"] = "zzz"
+        report = diff_runs(old, new)
+        assert report["comparable"] is True
+        assert report["changes"] == []
+
+    def test_diff_cli_tolerates_schema_drift(self, tmp_path):
+        old = self._old_schema()
+        new = copy.deepcopy(old)
+        new["run_id"] = "new000000000"
+        new["config"]["result_store_used"] = True
+        ledger = tmp_path / "ledger"
+        record_run(ledger, old)
+        record_run(ledger, new)
+        assert runs_main(["diff", str(ledger), "old0", "new0"]) == 0
+
+    def test_manifest_records_store_usage(self, tmp_path):
+        config, results = _study(
+            tmp_path, result_store=tmp_path / "store"
+        )
+        manifest = build_manifest(config, results, created=1000.0)
+        assert manifest["config"]["result_store_used"] is True
+        assert manifest["headline"]["store_hits"] == 0  # cold run
+        config2, results2 = _study(tmp_path, result_store=False)
+        manifest2 = build_manifest(config2, results2, created=1000.0)
+        assert manifest2["config"]["result_store_used"] is False
+
+
 class TestCli:
     def test_list_and_show(self, tmp_path, capsys):
         ledger = tmp_path / "ledger"

@@ -1,0 +1,396 @@
+"""Socket-executor result batching: unitbatch dispatch, coalesced replies.
+
+Launches real ``repro-worker`` subprocesses (like test_executors) plus a
+hand-rolled legacy worker that never advertises ``result_batching``, to
+prove both dialects interoperate on one coordinator.
+"""
+
+import os
+import socket as _socket
+import subprocess
+import sys
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.obs import MetricsRegistry
+from repro.parallel import ParallelMap
+from repro.parallel.executors import SocketExecutor
+from repro.parallel.executors.base import WorkUnit
+from repro.parallel.executors.socket import parse_bind
+from repro.parallel.executors.wire import recv_msg, send_msg
+from repro.parallel.worker import _flush_entries, _serve_batch
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+SRC_DIR = REPO_ROOT / "src"
+
+
+def square(x):
+    return x * x
+
+
+def die_once(arg):
+    """Kill this worker process the first time the marker is absent."""
+    x, marker = arg
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("died")
+        os._exit(17)
+    return x + 100
+
+
+def _worker_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR), str(REPO_ROOT)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env
+
+
+@contextmanager
+def batching_workers(address, count, flush_interval=None, node_prefix="w"):
+    """``count`` repro-worker subprocesses, optionally pinning the flush."""
+    cmd_tail = []
+    if flush_interval is not None:
+        cmd_tail = ["--flush-interval", str(flush_interval)]
+    procs = [
+        subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.parallel.worker", "connect",
+                address, "--node", f"{node_prefix}{i}", "--retry", "10",
+                "--quiet", *cmd_tail,
+            ],
+            env=_worker_env(),
+        )
+        for i in range(count)
+    ]
+    try:
+        yield procs
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+def _unit(uid):
+    return WorkUnit(
+        uid=uid, entry=square, payload=(uid,), members=((uid, uid),)
+    )
+
+
+class TestPopBatch:
+    """White-box: batch sizing under the fair-share cap."""
+
+    def _executor_with_pending(self, pending, workers=1, batch_window=4):
+        executor = SocketExecutor(batch_window=batch_window)
+        executor.close()  # no live sockets needed for _pop_batch
+        for name in range(workers):
+            executor._workers[f"n{name}"] = None
+        for i in range(pending):
+            executor._pending.append(
+                (1, _unit(i))
+            )
+        return executor
+
+    def test_window_caps_batch(self):
+        executor = self._executor_with_pending(10, workers=1)
+        batch = executor._pop_batch(batching=True)
+        assert [u.uid for _e, u in batch] == [0, 1, 2, 3]
+        assert len(executor._pending) == 6
+
+    def test_fair_share_caps_tail(self):
+        # 3 units, 2 workers: ceil(3/2)=2 — one worker must not hoard 3.
+        executor = self._executor_with_pending(3, workers=2)
+        batch = executor._pop_batch(batching=True)
+        assert len(batch) == 2
+
+    def test_non_batching_worker_takes_one(self):
+        executor = self._executor_with_pending(10, workers=1)
+        assert len(executor._pop_batch(batching=False)) == 1
+
+    def test_epoch_boundary_not_crossed(self):
+        executor = self._executor_with_pending(2, workers=1)
+        executor._pending.append((2, _unit(99)))
+        batch = executor._pop_batch(batching=True)
+        assert [e for e, _u in batch] == [1, 1]
+
+
+class TestBatchedLoopback:
+    def test_batched_results_match_and_coalesce(self):
+        registry = MetricsRegistry()
+        executor = SocketExecutor(batch_window=4)
+        try:
+            # Generous flush window: sub-millisecond units must share
+            # frames rather than the test racing the default interval.
+            with batching_workers(executor.address, 1, flush_interval=5.0):
+                executor.wait_for_workers(1, timeout=30)
+                pool = ParallelMap(
+                    executor=executor, chunk_size=1, metrics=registry
+                )
+                outcomes = pool.run(square, list(range(12)))
+        finally:
+            executor.close()
+        assert [o.result for o in outcomes] == [x * x for x in range(12)]
+        flat = registry.flat_counters()
+        assert flat.get("executor_results_coalesced_total", 0) >= 1
+        # Coalescing means strictly fewer reply frames than units.
+        assert flat.get("executor_result_frames_total", 0) < 12
+
+    def test_flush_interval_zero_replies_per_unit(self):
+        registry = MetricsRegistry()
+        executor = SocketExecutor(batch_window=4)
+        try:
+            with batching_workers(executor.address, 1, flush_interval=0):
+                executor.wait_for_workers(1, timeout=30)
+                pool = ParallelMap(
+                    executor=executor, chunk_size=1, metrics=registry
+                )
+                outcomes = pool.run(square, list(range(8)))
+        finally:
+            executor.close()
+        assert [o.result for o in outcomes] == [x * x for x in range(8)]
+        flat = registry.flat_counters()
+        assert flat.get("executor_result_frames_total", 0) == 8
+        assert flat.get("executor_results_coalesced_total", 0) == 0
+
+    def test_batch_window_one_disables_batching(self):
+        registry = MetricsRegistry()
+        executor = SocketExecutor(batch_window=1)
+        try:
+            with batching_workers(executor.address, 1, flush_interval=5.0):
+                executor.wait_for_workers(1, timeout=30)
+                pool = ParallelMap(
+                    executor=executor, chunk_size=1, metrics=registry
+                )
+                outcomes = pool.run(square, list(range(6)))
+        finally:
+            executor.close()
+        assert all(o.ok for o in outcomes)
+        assert registry.flat_counters().get(
+            "executor_results_coalesced_total", 0
+        ) == 0
+
+    def test_worker_death_mid_batch_requeues_remainder(self, tmp_path):
+        marker = str(tmp_path / "died-once-batch")
+        registry = MetricsRegistry()
+        executor = SocketExecutor(batch_window=4)
+        try:
+            with batching_workers(executor.address, 2):
+                executor.wait_for_workers(2, timeout=30)
+                pool = ParallelMap(
+                    executor=executor, chunk_size=1, metrics=registry
+                )
+                outcomes = pool.run(
+                    die_once, [(x, marker) for x in range(8)]
+                )
+        finally:
+            executor.close()
+        assert sorted(o.result for o in outcomes) == [
+            x + 100 for x in range(8)
+        ]
+        flat = registry.flat_counters()
+        assert flat.get("executor_units_requeued_total", 0) >= 1
+
+
+class TestLegacyWorkerInterop:
+    def test_non_batching_worker_gets_unit_frames(self):
+        """A worker without the capability flag never sees unitbatch."""
+        executor = SocketExecutor(batch_window=4)
+        frames_seen = []
+
+        def legacy_worker():
+            from repro.gpu.simulator import SIMULATOR_VERSION
+
+            host, port = parse_bind(executor.address)
+            conn = _socket.create_connection((host, port))
+            try:
+                send_msg(
+                    conn,
+                    {
+                        "kind": "hello",
+                        "protocol": 1,
+                        "node": "legacy",
+                        "pid": 0,
+                        "simulator_version": int(SIMULATOR_VERSION),
+                        # no result_batching key: pre-batching dialect
+                    },
+                )
+                welcome = recv_msg(conn)
+                assert welcome["kind"] == "welcome"
+                while True:
+                    msg = recv_msg(conn)
+                    if msg is None or msg.get("kind") == "shutdown":
+                        return
+                    frames_seen.append(msg.get("kind"))
+                    if msg.get("kind") != "unit":
+                        return  # would wedge the coordinator: bail out
+                    send_msg(
+                        conn,
+                        {
+                            "kind": "result",
+                            "id": msg["id"],
+                            "outcomes": msg["entry"](*msg["payload"]),
+                        },
+                    )
+            finally:
+                conn.close()
+
+        thread = threading.Thread(target=legacy_worker, daemon=True)
+        thread.start()
+        try:
+            executor.wait_for_workers(1, timeout=30)
+            pool = ParallelMap(executor=executor, chunk_size=1)
+            outcomes = pool.run(square, list(range(6)))
+        finally:
+            executor.close()
+        thread.join(timeout=10)
+        assert [o.result for o in outcomes] == [x * x for x in range(6)]
+        assert frames_seen and set(frames_seen) == {"unit"}
+
+
+class TestWorkerBatchHelpers:
+    """Worker-side unitbatch execution over a socketpair (no subprocess)."""
+
+    def _drain(self, sock, expect):
+        entries = []
+        while len(entries) < expect:
+            frame = recv_msg(sock)
+            assert frame["kind"] == "results"
+            entries.extend(frame["entries"])
+        return entries
+
+    def test_serve_batch_streams_all_entries(self):
+        a, b = _socket.socketpair()
+        try:
+            units = [
+                {"id": i, "entry": square, "payload": (i,)}
+                for i in range(5)
+            ]
+            _serve_batch(a, units, flush_interval=60.0)
+            entries = self._drain(b, 5)
+        finally:
+            a.close()
+            b.close()
+        assert [e["id"] for e in entries] == list(range(5))
+        assert [e["outcomes"] for e in entries] == [x * x for x in range(5)]
+
+    def test_unit_error_becomes_error_entry(self):
+        def boom(_x):
+            raise RuntimeError("kapow")
+
+        a, b = _socket.socketpair()
+        try:
+            _serve_batch(
+                a,
+                [{"id": 7, "entry": boom, "payload": (1,)}],
+                flush_interval=0.0,
+            )
+            entries = self._drain(b, 1)
+        finally:
+            a.close()
+            b.close()
+        assert entries[0]["id"] == 7
+        assert "kapow" in entries[0]["error"]
+        assert "outcomes" not in entries[0]
+
+    def test_unpicklable_entry_isolated_from_framemates(self):
+        a, b = _socket.socketpair()
+        try:
+            buffered = [
+                {"id": 0, "outcomes": 4},
+                {"id": 1, "outcomes": [lambda: 1]},  # won't pickle
+                {"id": 2, "outcomes": 9},
+            ]
+            _flush_entries(a, buffered)
+            assert buffered == []  # flushed buffers are cleared
+            frame = recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+        assert frame["kind"] == "results"
+        by_id = {e["id"]: e for e in frame["entries"]}
+        assert by_id[0]["outcomes"] == 4
+        assert by_id[2]["outcomes"] == 9
+        assert "unpicklable result" in by_id[1]["error"]
+
+
+class TestStudyOverBatchedSocket:
+    def test_study_checkpoint_identical_across_batch_windows(
+        self, tmp_path, monkeypatch
+    ):
+        """The batching transport must not leak into study bytes."""
+        import repro.experiments.study as study_mod
+        from repro.experiments import (
+            ExperimentDesign,
+            StudyConfig,
+            run_study,
+        )
+
+        real_make = study_mod.make_executor
+
+        def run(batch_window, name):
+            def patched(kind, workers=None, bind=None, on_event=None):
+                if kind == "socket":
+                    return SocketExecutor(
+                        bind=bind or "127.0.0.1:0",
+                        on_event=on_event,
+                        batch_window=batch_window,
+                    )
+                return real_make(
+                    kind, workers=workers, bind=bind, on_event=on_event
+                )
+
+            monkeypatch.setattr(study_mod, "make_executor", patched)
+            ckpt = tmp_path / f"{name}.jsonl"
+            address_box = {}
+
+            def capture(line):
+                if "listening on" in line and "procs" not in address_box:
+                    address = line.split("listening on ")[1].split(" ")[0]
+                    procs = batching_workers(
+                        address, 2, flush_interval=5.0,
+                        node_prefix=f"{name}-",
+                    )
+                    address_box["procs"] = procs
+                    procs.__enter__()
+
+            config = StudyConfig(
+                design=ExperimentDesign(
+                    sample_sizes=(10,), experiments_at_largest=3
+                ),
+                algorithms=("random_search",),
+                kernels=("add",),
+                archs=("titan_v",),
+                image_x=256,
+                image_y=256,
+                workers=2,
+            )
+            try:
+                results = run_study(
+                    config,
+                    progress=capture,
+                    checkpoint=str(ckpt),
+                    landscape_cache=str(tmp_path / "cache"),
+                    executor="socket",
+                    min_workers=2,
+                    result_store=False,
+                )
+            finally:
+                if "procs" in address_box:
+                    address_box["procs"].__exit__(None, None, None)
+            return results, ckpt.read_bytes()
+
+        plain, plain_bytes = run(1, "plain")
+        batched, batched_bytes = run(4, "batched")
+        assert batched_bytes == plain_bytes
+        assert plain.results == batched.results

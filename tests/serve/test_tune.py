@@ -1,0 +1,132 @@
+"""The tune() facade: cold fills the store, warm answers in O(lookup)."""
+
+import pytest
+
+from repro.gpu.landscape import clear_landscape_memo
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import global_registry
+from repro.serve import TuneResult, tune
+from repro.store import STORE_ENV, ResultStore
+
+
+@pytest.fixture(autouse=True)
+def isolated(monkeypatch):
+    monkeypatch.delenv(STORE_ENV, raising=False)
+    clear_landscape_memo()
+    yield
+    clear_landscape_memo()
+
+
+def _tune(store, **kwargs):
+    defaults = dict(
+        kernel="add",
+        arch="titan_v",
+        tuner="random_search",
+        budget=20,
+        image_x=256,
+        image_y=256,
+        final_repeats=2,
+        store=store,
+    )
+    defaults.update(kwargs)
+    return tune(**defaults)
+
+
+class TestTune:
+    def test_cold_then_warm_identical(self, tmp_path):
+        store = tmp_path / "store"
+        cold = _tune(store)
+        assert isinstance(cold, TuneResult)
+        assert cold.cached is False
+        assert cold.samples_used <= 20
+
+        warm = _tune(store)
+        assert warm.cached is True
+        assert warm.fingerprint == cold.fingerprint
+        assert warm.best_flat == cold.best_flat
+        assert warm.best_config == cold.best_config
+        assert warm.final_runtime_ms == cold.final_runtime_ms
+        assert warm.observed_best_ms == cold.observed_best_ms
+        assert warm.samples_used == cold.samples_used
+
+    def test_warm_request_never_touches_simulator(self, tmp_path):
+        store = tmp_path / "store"
+        _tune(store)
+        before = global_registry().flat_counters().get(
+            "simulator_evals_total", 0.0
+        )
+        warm = _tune(store)
+        after = global_registry().flat_counters().get(
+            "simulator_evals_total", 0.0
+        )
+        assert warm.cached is True
+        assert after == before
+
+    def test_no_store_runs_cold_every_time(self, tmp_path):
+        a = _tune(None)
+        b = _tune(None)
+        assert a.cached is False and b.cached is False
+        assert a.best_flat == b.best_flat  # deterministic either way
+
+    def test_env_var_names_the_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "env-store"))
+        assert _tune(None).cached is False
+        assert _tune(None).cached is True
+
+    def test_identity_axes_are_distinct(self, tmp_path):
+        store = tmp_path / "store"
+        base = _tune(store)
+        for change in (
+            dict(budget=25),
+            dict(experiment=1),
+            dict(root_seed=7),
+            dict(tuner="simulated_annealing"),
+            dict(final_repeats=3),
+        ):
+            other = _tune(store, **change)
+            assert other.cached is False, change
+            assert other.fingerprint != base.fingerprint, change
+
+    def test_distinct_experiments_are_independent_replicates(self, tmp_path):
+        store = tmp_path / "store"
+        r0 = _tune(store, experiment=0)
+        r1 = _tune(store, experiment=1)
+        # Different RNG streams: the searches sampled different configs
+        # (identical incumbents can legitimately collide, the trajectory
+        # fingerprint cannot).
+        assert r0.fingerprint != r1.fingerprint
+
+    def test_dataset_tuner_round_trips(self, tmp_path):
+        store = tmp_path / "store"
+        cold = _tune(
+            store,
+            tuner="random_forest",
+            landscape_cache=tmp_path / "cache",
+        )
+        warm = _tune(
+            store,
+            tuner="random_forest",
+            landscape_cache=tmp_path / "cache",
+        )
+        assert cold.cached is False
+        assert warm.cached is True
+        assert warm.best_flat == cold.best_flat
+        assert warm.final_runtime_ms == cold.final_runtime_ms
+
+    def test_store_instance_and_metrics(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ResultStore(tmp_path / "store", metrics=registry)
+        _tune(store, metrics=registry)
+        _tune(store, metrics=registry)
+        flat = registry.flat_counters()
+        assert flat["tune_requests_total"] == 2
+        assert flat["tune_cache_hits_total"] == 1
+        assert flat["result_store_hits_total"] >= 1
+        assert flat["result_store_writes_total"] == 1
+
+    def test_best_config_decodes_flat_index(self, tmp_path):
+        result = _tune(tmp_path / "store")
+        from repro.kernels import get_kernel
+
+        space = get_kernel("add", 256, 256).space()
+        assert result.best_config == space.flat_to_config(result.best_flat)

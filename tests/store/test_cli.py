@@ -1,0 +1,100 @@
+"""``repro-store`` CLI: ls / stats / gc over a populated store."""
+
+import json
+
+import pytest
+
+from repro.store import ResultStore, fingerprint_of
+from repro.store.cli import main as store_main
+
+from .test_store import make_identity, make_result
+
+
+@pytest.fixture()
+def populated(tmp_path):
+    root = tmp_path / "store"
+    store = ResultStore(root)
+    identity = make_identity()
+    fp = fingerprint_of(identity)
+    store.put_result(fp, make_result(), identity)
+    torn = make_identity(experiment=1)
+    fp_torn = fingerprint_of(torn)
+    store.put_result(fp_torn, make_result(experiment=1), torn)
+    store.path_for(fp_torn).write_text("torn")
+    return root, fp, fp_torn
+
+
+class TestLs:
+    def test_ls_columns(self, populated, capsys):
+        root, fp, fp_torn = populated
+        assert store_main(["ls", "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert fp in out and fp_torn in out
+        assert "random_search/add/titan_v/25/0" in out
+        assert "corrupt" in out
+        assert "2 entries" in out
+
+    def test_ls_json(self, populated, capsys):
+        root, fp, fp_torn = populated
+        assert store_main(["ls", "--store", str(root), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_fp = {r["fingerprint"]: r for r in rows}
+        assert by_fp[fp]["status"] == "ok"
+        assert by_fp[fp]["cell"] == "random_search/add/titan_v/25/0"
+        assert by_fp[fp_torn]["status"] == "corrupt"
+
+    def test_ls_empty_store(self, tmp_path, capsys):
+        assert store_main(["ls", "--store", str(tmp_path / "none")]) == 0
+        assert "empty store" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_json(self, populated, capsys):
+        root, _fp, _torn = populated
+        assert store_main(["stats", "--store", str(root)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 2
+        assert stats["valid"] == 1
+        assert stats["by_reason"]["corrupt"] == 1
+
+
+class TestGc:
+    def test_gc_dry_run_keeps_files(self, populated, capsys):
+        root, _fp, fp_torn = populated
+        assert store_main(["gc", "--store", str(root), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would evict 1 entries, kept 1" in out
+        assert ResultStore(root).path_for(fp_torn).exists()
+
+    def test_gc_deletes(self, populated, capsys):
+        root, fp, fp_torn = populated
+        assert store_main(["gc", "--store", str(root)]) == 0
+        assert "evicted 1 entries, kept 1" in capsys.readouterr().out
+        store = ResultStore(root)
+        assert not store.path_for(fp_torn).exists()
+        assert store.get_result(fp) is not None
+
+    def test_ttl_flag_expires(self, populated, capsys):
+        root, _fp, _torn = populated
+        assert store_main(
+            ["stats", "--store", str(root), "--ttl", "0"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["valid"] == 0
+
+
+class TestErrors:
+    def test_no_store_dir_exits(self, monkeypatch):
+        from repro.store import STORE_ENV
+
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        with pytest.raises(SystemExit, match="no store directory"):
+            store_main(["ls"])
+
+    def test_env_var_is_default(self, populated, monkeypatch, capsys):
+        from repro.store import STORE_ENV
+
+        root, _fp, _torn = populated
+        monkeypatch.setenv(STORE_ENV, str(root))
+        assert store_main(["stats"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 2
